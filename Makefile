@@ -1,0 +1,32 @@
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- table1 table2 table3 fig3 fig6 --scale 0 --repeats 1
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/fear_spectrum.exe
+	dune exec examples/text_index.exe
+	dune exec examples/graph_analytics.exe
+	dune exec examples/mesh_refinement.exe
+	dune exec examples/transactions.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,116 @@
+(* rpb — command-line runner for the RPB benchmark suite.
+
+   rpb list
+   rpb patterns
+   rpb run sa --input wiki --scale 3 --threads 4 --mode checked --repeats 3
+   rpb run all --scale 1 *)
+
+open Cmdliner
+open Rpb_benchmarks
+
+let run_one ~name ~input ~scale ~threads ~mode ~repeats ~seq =
+  match Registry.find name with
+  | None ->
+    Printf.eprintf "unknown benchmark %s (try `rpb list`)\n" name;
+    1
+  | Some e ->
+    let input =
+      match input with
+      | Some i when List.mem i e.Common.inputs -> i
+      | Some i ->
+        Printf.eprintf "warning: %s is not a standard input for %s (have: %s)\n"
+          i name
+          (String.concat ", " e.Common.inputs);
+        i
+      | None -> List.hd e.Common.inputs
+    in
+    let pool = Rpb_pool.Pool.create ~num_workers:threads () in
+    Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool) @@ fun () ->
+    Rpb_pool.Pool.run pool (fun () ->
+        let prepared = e.Common.prepare pool ~input ~scale in
+        let runner =
+          if seq then prepared.Common.run_seq
+          else fun () -> prepared.Common.run_par mode
+        in
+        runner ();
+        (* warm-up *)
+        let (), t = Rpb_prim.Timing.mean_of ~repeats runner in
+        let ok = prepared.Common.verify () in
+        Printf.printf
+          "%-6s input=%s (%s) %s threads=%d scale=%d: %.4f s  [%s]\n" name input
+          prepared.Common.size
+          (if seq then "seq" else "mode=" ^ Mode.name mode)
+          threads scale t
+          (if ok then "verified" else "VERIFICATION FAILED");
+        if ok then 0 else 2)
+
+let list_cmd =
+  let doc = "List the 14 RPB benchmarks with their inputs and patterns." in
+  let run () =
+    Printf.printf "%-6s %-40s %-14s %-9s %s\n" "name" "description" "inputs"
+      "dispatch" "patterns";
+    List.iter
+      (fun e ->
+        Printf.printf "%-6s %-40s %-14s %-9s %s\n" e.Common.name e.Common.full_name
+          (String.concat "," e.Common.inputs)
+          (if e.Common.dynamic then "dynamic" else "static")
+          (String.concat " "
+             (List.map Rpb_core.Pattern.access_name e.Common.patterns)))
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let patterns_cmd =
+  let doc = "Show the pattern taxonomy and fear spectrum (paper Table 3)." in
+  let run () =
+    List.iter
+      (fun p ->
+        Printf.printf "%-7s %-55s %s\n"
+          (Rpb_core.Pattern.access_name p)
+          (Rpb_core.Pattern.expression p)
+          (Rpb_core.Pattern.fear_name (Rpb_core.Pattern.safety p)))
+      Rpb_core.Pattern.all_accesses
+  in
+  Cmd.v (Cmd.info "patterns" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run a benchmark (or `all`) and verify its output." in
+  let bench_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc:"benchmark name or `all`")
+  in
+  let input =
+    Arg.(value & opt (some string) None & info [ "input"; "i" ] ~docv:"INPUT")
+  in
+  let scale = Arg.(value & opt int 2 & info [ "scale"; "s" ] ~docv:"N") in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"P") in
+  let repeats = Arg.(value & opt int 3 & info [ "repeats"; "r" ] ~docv:"R") in
+  let seq = Arg.(value & flag & info [ "seq" ] ~doc:"run the sequential baseline") in
+  let mode =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            match Mode.of_string s with
+            | Some m -> Ok m
+            | None -> Error (`Msg ("unknown mode " ^ s))),
+          fun fmt m -> Format.pp_print_string fmt (Mode.name m) )
+    in
+    Arg.(value & opt mode_conv Mode.Unsafe
+         & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"unsafe | checked | sync")
+  in
+  let run name input scale threads mode repeats seq =
+    let names = if name = "all" then Registry.names else [ name ] in
+    let code =
+      List.fold_left
+        (fun acc n ->
+          max acc (run_one ~name:n ~input ~scale ~threads ~mode ~repeats ~seq))
+        0 names
+    in
+    exit code
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ bench_arg $ input $ scale $ threads $ mode $ repeats $ seq)
+
+let () =
+  let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
+  let info = Cmd.info "rpb" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; patterns_cmd; run_cmd ]))

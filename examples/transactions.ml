@@ -1,0 +1,78 @@
+(* The "transactions" pattern the paper leaves as future work, explored with
+   our TL2-style STM: a concurrent bank with invariant-preserving transfers,
+   plus the other absent patterns (futures, speculation, pipeline, B&B).
+
+   Run with:  dune exec examples/transactions.exe *)
+
+open Rpb_extra
+
+let () =
+  (* --- STM: transfers preserve total balance under contention. --- *)
+  let n_accounts = 16 in
+  let accounts = Array.init n_accounts (fun _ -> Stm.tvar 1_000) in
+  let workers = 4 and transfers = 5_000 in
+  let domains =
+    List.init workers (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rpb_prim.Rng.create (1000 + d) in
+            for _ = 1 to transfers do
+              let a = Rpb_prim.Rng.int rng n_accounts in
+              let b = (a + 1 + Rpb_prim.Rng.int rng (n_accounts - 1)) mod n_accounts in
+              let amount = Rpb_prim.Rng.int rng 100 in
+              Stm.atomically (fun tx ->
+                  let xa = Stm.read tx accounts.(a) in
+                  if xa >= amount then begin
+                    Stm.write tx accounts.(a) (xa - amount);
+                    Stm.write tx accounts.(b) (Stm.read tx accounts.(b) + amount)
+                  end)
+            done))
+  in
+  List.iter Domain.join domains;
+  let total = Array.fold_left (fun acc v -> acc + Stm.get v) 0 accounts in
+  let commits, aborts = Stm.stats () in
+  Printf.printf
+    "STM bank: %d workers x %d transfers; total = %d (expected %d)\n"
+    workers transfers total (n_accounts * 1_000);
+  Printf.printf "STM stats: %d commits, %d aborts (retried transparently)\n\n"
+    commits aborts;
+
+  let pool = Rpb_pool.Pool.create ~num_workers:4 () in
+  Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool) @@ fun () ->
+  Rpb_pool.Pool.run pool @@ fun () ->
+  (* --- Futures: non-strict fork-join. --- *)
+  let shared = Future.spawn pool (fun () -> Rpb_prim.Rng.hash64 7) in
+  let sum =
+    List.init 4 (fun i -> Future.map pool (fun x -> (x + i) mod 1000) shared)
+    |> List.map (Future.get pool)
+    |> List.fold_left ( + ) 0
+  in
+  Printf.printf "futures: one task's result consumed by 4 siblings (sum %d)\n" sum;
+
+  (* --- Speculative selection. --- *)
+  let result =
+    Speculate.select pool
+      ~guard:(fun () -> Rpb_prim.Rng.hash64 1 mod 2 = 0)
+      (fun () -> "even-branch")
+      (fun () -> "odd-branch")
+  in
+  Printf.printf "speculative select picked: %s\n" result;
+
+  (* --- Pipeline over a stream. --- *)
+  let p =
+    Pipeline.(
+      stage (fun x -> x * x)
+      >>> stage (fun x -> x + 1)
+      >>> stage string_of_int)
+  in
+  let out = Pipeline.run p (Array.init 10 Fun.id) in
+  Printf.printf "pipeline (3 stages, 3 domains): %s\n"
+    (String.concat " " (Array.to_list out));
+
+  (* --- Branch and bound: 0/1 knapsack. --- *)
+  let items, capacity = Branch_bound.Knapsack.random_instance ~n:26 ~seed:5 in
+  let optimum =
+    Branch_bound.maximize pool (Branch_bound.Knapsack.problem items ~capacity)
+  in
+  Printf.printf "branch&bound knapsack (26 items): optimum %d (DP agrees: %b)\n"
+    optimum
+    (optimum = Branch_bound.Knapsack.solve_dp items ~capacity)

@@ -1,0 +1,82 @@
+exception Infeasible of string
+
+type variant = {
+  name : string;
+  lines_of_code : int;
+  run : workers:int -> pool:Rpb_pool.Pool.t -> int array -> unit;
+}
+
+let task = Rpb_prim.Rng.hash64
+
+let serial ~workers:_ ~pool:_ v =
+  for i = 0 to Array.length v - 1 do
+    v.(i) <- task v.(i)
+  done
+
+let thread_per_task_cap = 2_000
+
+(* Listing 13: spawn a thread per element.  The paper's version fills the
+   stack and panics at 10^9 elements; we refuse past a cap instead. *)
+let thread_per_task ~workers:_ ~pool:_ v =
+  let n = Array.length v in
+  if n > thread_per_task_cap then
+    raise
+      (Infeasible
+         (Printf.sprintf "thread-per-task refuses n > %d (the paper's panics)"
+            thread_per_task_cap));
+  let threads =
+    Array.init n (fun i -> Thread.create (fun () -> v.(i) <- task v.(i)) ())
+  in
+  Array.iter Thread.join threads
+
+(* Listing 14: slice the vector into one chunk per core. *)
+let chunk_per_core ~workers ~pool:_ v =
+  let n = Array.length v in
+  let per = Rpb_prim.Util.ceil_div n (max workers 1) in
+  let domains =
+    Array.init (max workers 1) (fun w ->
+        Domain.spawn (fun () ->
+            let lo = w * per and hi = min n ((w + 1) * per) in
+            for i = lo to hi - 1 do
+              v.(i) <- task v.(i)
+            done))
+  in
+  Array.iter Domain.join domains
+
+(* Listing 15: a software runtime pulling fixed-size jobs off a locked
+   queue. *)
+let job_queue ~workers ~pool:_ v =
+  let n = Array.length v in
+  let job_size = 10_000 in
+  let next = Atomic.make 0 in
+  let domains =
+    Array.init (max workers 1) (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              let lo = Atomic.fetch_and_add next job_size in
+              if lo < n then begin
+                let hi = min n (lo + job_size) in
+                for i = lo to hi - 1 do
+                  v.(i) <- task v.(i)
+                done;
+                loop ()
+              end
+            in
+            loop ()))
+  in
+  Array.iter Domain.join domains
+
+(* Listing 12: the Rayon-style one-liner on our pool. *)
+let pool_parallel_for ~workers:_ ~pool v =
+  Rpb_core.Par_array.map_inplace pool task v
+
+let variants =
+  [
+    { name = "serial"; lines_of_code = 4; run = serial };
+    { name = "par_1 (thread/task)"; lines_of_code = 8; run = thread_per_task };
+    { name = "par_2 (chunk/core)"; lines_of_code = 14; run = chunk_per_core };
+    { name = "par_3 (job queue)"; lines_of_code = 21; run = job_queue };
+    { name = "par_rayon (pool)"; lines_of_code = 2; run = pool_parallel_for };
+  ]
+
+let expected v = Array.map task v

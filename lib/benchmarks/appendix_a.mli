@@ -1,0 +1,27 @@
+(** Appendix A microbenchmark: element-wise hashing of a vector under five
+    parallelization strategies (paper Listings 11–15 and Fig. 6).
+
+    - [serial]: plain loop;
+    - [thread_per_task]: one thread per element (Listing 13 — the paper's
+      version panics at 10^9 elements; ours refuses beyond a cap);
+    - [chunk_per_core]: one domain per worker over equal slices (Listing 14);
+    - [job_queue]: a mutex-guarded queue of fixed-size jobs drained by
+      worker domains (Listing 15);
+    - [pool_parallel_for]: our work-stealing pool (Listing 12's Rayon). *)
+
+exception Infeasible of string
+
+type variant = {
+  name : string;
+  lines_of_code : int;  (** the Fig. 6 right-axis metric, for our OCaml code *)
+  run : workers:int -> pool:Rpb_pool.Pool.t -> int array -> unit;
+}
+
+val task : int -> int
+(** The PBBS hash of Listing 10. *)
+
+val variants : variant list
+(** In Fig. 6 order: serial, par_1, par_2, par_3, par_rayon. *)
+
+val expected : int array -> int array
+(** Oracle: what any variant must turn the input into. *)

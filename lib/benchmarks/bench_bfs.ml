@@ -1,0 +1,28 @@
+(* bfs — breadth-first search on the MultiQueue scheduler (paper Table 1 and
+   Sec. 6, inputs: link, road).  Dynamic task dispatch: workers pop
+   (distance, vertex) tasks, relax with atomic fetch-min (AW), and push
+   discovered work. *)
+
+open Rpb_core
+
+let entry : Common.entry =
+  {
+    name = "bfs";
+    full_name = "breadth-first search (MultiQueue)";
+    inputs = [ "link"; "road" ];
+    patterns = Pattern.[ RO; AW ];
+    dynamic = true;
+    access_sites = Pattern.[ (RO, 1); (AW, 2) ];
+    mode_note = "all switches: MQ + atomic distance relaxation";
+    prepare =
+      (fun pool ~input ~scale ->
+        let g = Graph_inputs.load pool ~name:input ~scale ~weighted:false ~symmetric:true in
+        let expected = Rpb_graph.Reference.bfs_distances g ~src:0 in
+        let last = ref [||] in
+        {
+          Common.size = Graph_inputs.describe g;
+          run_seq = (fun () -> last := Rpb_graph.Reference.bfs_distances g ~src:0);
+          run_par = (fun _mode -> last := Rpb_graph.Traverse.bfs pool g ~src:0);
+          verify = (fun () -> !last = expected);
+        });
+  }

@@ -1,0 +1,53 @@
+(* dr — Delaunay refinement (paper Table 1, input: kuzmin points).  The
+   measured phase triangulates and then refines; refinement's cavity
+   reservations are atomic priority-writes over shared mesh state (AW) with
+   dynamic rounds. *)
+
+open Rpb_core
+
+let quality_angle = 26.0
+
+let entry : Common.entry =
+  {
+    name = "dr";
+    full_name = "Delaunay refinement";
+    inputs = [ "kuzmin" ];
+    patterns = Pattern.[ RO; Stride; Block; DandC; SngInd; RngInd; AW ];
+    dynamic = true;
+    access_sites =
+      Pattern.[ (RO, 4); (Stride, 3); (Block, 1); (DandC, 1); (SngInd, 1); (RngInd, 1); (AW, 3) ];
+    mode_note = "unsafe/checked/sync: reservation-based rounds; baseline: sequential inserts";
+    prepare =
+      (fun pool ~input ~scale ->
+        if input <> "kuzmin" then invalid_arg "dr: input must be kuzmin";
+        let n = Common.scaled 200 scale in
+        let points = Rpb_geom.Pointgen.kuzmin ~n ~seed:115 in
+        let last = ref None in
+        {
+          Common.size = Printf.sprintf "%d points" n;
+          run_seq =
+            (fun () ->
+              let mesh = Rpb_geom.Delaunay.triangulate points in
+              let stats =
+                Rpb_geom.Refine.refine ~min_angle:quality_angle
+                  ~mode:Rpb_geom.Refine.Sequential pool mesh
+              in
+              last := Some (mesh, stats));
+          run_par =
+            (fun _mode ->
+              let mesh = Rpb_geom.Delaunay.triangulate points in
+              let stats =
+                Rpb_geom.Refine.refine ~min_angle:quality_angle
+                  ~mode:Rpb_geom.Refine.Reserving pool mesh
+              in
+              last := Some (mesh, stats));
+          verify =
+            (fun () ->
+              match !last with
+              | None -> false
+              | Some (mesh, stats) ->
+                Rpb_geom.Mesh.validate mesh = Ok ()
+                && stats.Rpb_geom.Refine.remaining_bad
+                   <= stats.Rpb_geom.Refine.skipped);
+        });
+  }

@@ -1,0 +1,34 @@
+(* mis — maximal independent set (paper Table 1, inputs: link, road).
+   Reservation rounds with AW status writes; the unsafe switch races plain
+   stores (benign by algorithm), the others arbitrate through atomics. *)
+
+open Rpb_core
+
+let entry : Common.entry =
+  {
+    name = "mis";
+    full_name = "maximal independent set";
+    inputs = [ "link"; "road" ];
+    patterns = Pattern.[ RO; Stride; SngInd; RngInd; AW ];
+    dynamic = false;
+    access_sites =
+      Pattern.[ (RO, 3); (Stride, 3); (SngInd, 1); (RngInd, 1); (AW, 2) ];
+    mode_note = "unsafe: plain-store status (benign race); checked/sync: atomic status";
+    prepare =
+      (fun pool ~input ~scale ->
+        let g = Graph_inputs.load pool ~name:input ~scale ~weighted:false ~symmetric:true in
+        let last = ref [||] in
+        {
+          Common.size = Graph_inputs.describe g;
+          run_seq = (fun () -> last := Rpb_graph.Mis.compute_seq g);
+          run_par =
+            (fun mode ->
+              let sync =
+                match mode with
+                | Mode.Unsafe -> Rpb_graph.Mis.Plain_status
+                | Mode.Checked | Mode.Synchronized -> Rpb_graph.Mis.Atomic_status
+              in
+              last := Rpb_graph.Mis.compute ~sync pool g);
+          verify = (fun () -> Rpb_graph.Reference.is_maximal_independent_set g !last);
+        });
+  }

@@ -1,0 +1,31 @@
+(* mm — maximal matching (paper Table 1, inputs: rmat, road).
+   Edge-priority reservations: atomic fetch-min on endpoint cells (AW). *)
+
+open Rpb_core
+
+let entry : Common.entry =
+  {
+    name = "mm";
+    full_name = "maximal matching";
+    inputs = [ "rmat"; "road" ];
+    patterns = Pattern.[ RO; Stride; SngInd; RngInd; AW ];
+    dynamic = false;
+    access_sites =
+      Pattern.[ (RO, 2); (Stride, 3); (SngInd, 1); (RngInd, 1); (AW, 2) ];
+    mode_note = "all switches: atomic priority-writes (no cheaper expression exists)";
+    prepare =
+      (fun pool ~input ~scale ->
+        let g = Graph_inputs.load pool ~name:input ~scale ~weighted:false ~symmetric:true in
+        let edges = Rpb_graph.Csr.edges g in
+        let last = ref [||] in
+        {
+          Common.size = Graph_inputs.describe g;
+          run_seq =
+            (fun () -> last := Rpb_graph.Matching.compute_seq ~n:(Rpb_graph.Csr.n g) edges);
+          run_par =
+            (fun _mode ->
+              last := Rpb_graph.Matching.compute pool ~edges ~n:(Rpb_graph.Csr.n g));
+          verify =
+            (fun () -> Rpb_graph.Reference.is_maximal_matching g ~edges ~selected:!last);
+        });
+  }

@@ -1,0 +1,51 @@
+(* msf — minimum spanning forest by Boruvka rounds (paper Table 1, inputs:
+   rmat, road; weighted).  Per-component atomic priority-writes elect light
+   edges; unions race through CAS (AW, dynamic round structure). *)
+
+open Rpb_core
+
+let entry : Common.entry =
+  {
+    name = "msf";
+    full_name = "minimum spanning forest";
+    inputs = [ "rmat"; "road" ];
+    patterns = Pattern.[ RO; Stride; SngInd; RngInd; AW ];
+    dynamic = false;
+    access_sites =
+      Pattern.[ (RO, 3); (Stride, 3); (SngInd, 1); (RngInd, 1); (AW, 3) ];
+    mode_note = "all switches: atomic elections + CAS unions";
+    prepare =
+      (fun pool ~input ~scale ->
+        let g = Graph_inputs.load pool ~name:input ~scale ~weighted:true ~symmetric:true in
+        let expected_weight = Rpb_graph.Reference.spanning_forest_weight g in
+        let last = ref [||] in
+        {
+          Common.size = Graph_inputs.describe g;
+          run_seq =
+            (fun () ->
+              (* Kruskal (sequential baseline), recording edge indices. *)
+              let edges = Rpb_graph.Csr.edges g in
+              let order = Array.init (Array.length edges) Fun.id in
+              Array.sort
+                (fun a b ->
+                  compare
+                    (Rpb_graph.Csr.edge_weight g a, a)
+                    (Rpb_graph.Csr.edge_weight g b, b))
+                order;
+              let uf = Rpb_graph.Union_find.create (Rpb_graph.Csr.n g) in
+              let chosen = ref [] in
+              Array.iter
+                (fun e ->
+                  let u, v = edges.(e) in
+                  if u <> v && Rpb_graph.Union_find.union uf u v then
+                    chosen := e :: !chosen)
+                order;
+              last := Array.of_list (List.rev !chosen));
+          run_par =
+            (fun _mode ->
+              last := Rpb_graph.Spanning_forest.minimum_spanning_forest pool g);
+          verify =
+            (fun () ->
+              Rpb_graph.Spanning_forest.forest_weight g !last = expected_weight);
+        });
+  }

@@ -1,0 +1,77 @@
+(* sa — suffix array (paper Table 1, input: wiki).
+
+   Prefix doubling: each round is two parallel stable counting-rank passes
+   plus a rank rebuild whose scatter goes through the suffix permutation —
+   the SngInd write the paper's Fig. 5(a) prices. *)
+
+open Rpb_core
+
+let entry : Common.entry =
+  {
+    name = "sa";
+    full_name = "suffix array";
+    inputs = [ "wiki" ];
+    patterns = Pattern.[ RO; Stride; Block; SngInd; RngInd; AW ];
+    dynamic = false;
+    access_sites =
+      Pattern.[ (RO, 3); (Stride, 8); (SngInd, 3); (RngInd, 1); (AW, 1) ];
+    mode_note =
+      "unsafe: raw rank scatter; checked: validated; sync: falls back to checked";
+    prepare =
+      (fun pool ~input ~scale ->
+        if input <> "wiki" then invalid_arg "sa: input must be wiki";
+        let size = Common.scaled 4_000 scale in
+        let text = Rpb_text.Text_gen.wiki ~size ~seed:103 in
+        let last = ref [||] in
+        {
+          Common.size = Printf.sprintf "%d bytes" size;
+          run_seq = (fun () -> last := Rpb_text.Suffix_array.build_seq text);
+          run_par =
+            (fun mode ->
+              let m =
+                match mode with
+                | Mode.Unsafe -> Rpb_text.Suffix_array.Unchecked_scatter
+                | Mode.Checked | Mode.Synchronized ->
+                  Rpb_text.Suffix_array.Checked_scatter
+              in
+              last := Rpb_text.Suffix_array.build ~mode:m pool text);
+          verify =
+            (fun () ->
+              (* Permutation + sampled suffix ordering (full check is
+                 quadratic). *)
+              let sa = !last in
+              let n = String.length text in
+              Array.length sa = n
+              && begin
+                let seen = Array.make n false in
+                Array.for_all
+                  (fun i ->
+                    i >= 0 && i < n && not seen.(i) && begin
+                      seen.(i) <- true;
+                      true
+                    end)
+                  sa
+              end
+              && begin
+                let ok = ref true in
+                let step = max 1 (n / 2048) in
+                let j = ref 1 in
+                while !j < n do
+                  let a = sa.(!j - 1) and b = sa.(!j) in
+                  (* compare suffixes with a bounded window *)
+                  let rec cmp i1 i2 fuel =
+                    if fuel = 0 then 0
+                    else if i1 >= n then -1
+                    else if i2 >= n then 1
+                    else begin
+                      let c = Char.compare text.[i1] text.[i2] in
+                      if c <> 0 then c else cmp (i1 + 1) (i2 + 1) (fuel - 1)
+                    end
+                  in
+                  if cmp a b 512 > 0 then ok := false;
+                  j := !j + step
+                done;
+                !ok
+              end);
+        });
+  }

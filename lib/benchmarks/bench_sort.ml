@@ -1,0 +1,84 @@
+(* sort — comparison sort by parallel sample sort (paper Sec. 7.1, input:
+   exponentially distributed keys).
+
+   The bucket-scatter phase writes each element to a position produced by a
+   counting rank — unique by construction, so the mode switch picks raw,
+   validated, or lock-guarded writes for exactly that phase. *)
+
+open Rpb_core
+open Rpb_pool
+
+let sample_sort_with_mode mode pool a =
+  let n = Array.length a in
+  if n <= Rpb_parseq.Sort.seq_cutoff then begin
+    let out = Array.copy a in
+    Array.stable_sort compare out;
+    out
+  end
+  else begin
+    let nbuckets = min 256 (max 2 (int_of_float (sqrt (float_of_int n)) / 16)) in
+    let rng = Rpb_prim.Rng.create 0xB0CCE in
+    let sample = Array.init (nbuckets * 8) (fun _ -> a.(Rpb_prim.Rng.int rng n)) in
+    Array.stable_sort compare sample;
+    let pivots = Array.init (nbuckets - 1) (fun i -> sample.((i + 1) * 8)) in
+    let bucket_of x =
+      let lo = ref 0 and hi = ref (Array.length pivots) in
+      while !lo < !hi do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if compare pivots.(mid) x < 0 then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    let bids = Par_array.init pool n (fun i -> bucket_of a.(i)) in
+    let dest = Rpb_parseq.Radix.rank_by_key pool ~keys:bids ~buckets:nbuckets in
+    let out = Array.make n a.(0) in
+    (* The mode switch: how the unique-by-construction scatter is written. *)
+    (match mode with
+     | Mode.Unsafe -> Scatter.unchecked pool ~out ~offsets:dest ~src:a
+     | Mode.Checked -> Scatter.checked pool ~out ~offsets:dest ~src:a
+     | Mode.Synchronized -> Scatter.mutexed pool ~out ~offsets:dest ~src:a);
+    let counts = Rpb_parseq.Histogram.histogram pool ~keys:bids ~buckets:nbuckets in
+    let starts, _ = Rpb_parseq.Scan.exclusive_int pool counts in
+    Pool.parallel_for ~grain:1 ~start:0 ~finish:nbuckets
+      ~body:(fun b ->
+        let lo = starts.(b) in
+        let hi = if b + 1 < nbuckets then starts.(b + 1) else n in
+        if hi - lo > 1 then begin
+          let tmp = Array.sub out lo (hi - lo) in
+          Array.stable_sort compare tmp;
+          Array.blit tmp 0 out lo (hi - lo)
+        end)
+      pool;
+    out
+  end
+
+let entry : Common.entry =
+  {
+    name = "sort";
+    full_name = "comparison sort (sample sort)";
+    inputs = [ "exponential" ];
+    patterns = Pattern.[ RO; Stride; Block; DandC; RngInd ];
+    dynamic = false;
+    access_sites =
+      Pattern.[ (RO, 3); (Stride, 5); (Block, 2); (DandC, 2); (RngInd, 2) ];
+    mode_note = "bucket scatter: unsafe raw / checked validated / sync mutexed";
+    prepare =
+      (fun pool ~input ~scale ->
+        if input <> "exponential" then invalid_arg "sort: input must be exponential";
+        let n = Common.scaled 10_000 scale in
+        let rng = Rpb_prim.Rng.create 107 in
+        let data = Array.init n (fun _ -> Rpb_prim.Rng.exponential_int rng ~mean:100_000) in
+        let expected = Array.copy data in
+        Array.sort compare expected;
+        let last = ref [||] in
+        {
+          Common.size = Printf.sprintf "%d keys" n;
+          run_seq =
+            (fun () ->
+              let out = Array.copy data in
+              Array.stable_sort compare out;
+              last := out);
+          run_par = (fun mode -> last := sample_sort_with_mode mode pool data);
+          verify = (fun () -> !last = expected);
+        });
+  }

@@ -1,0 +1,27 @@
+(* sssp — single-source shortest paths on the MultiQueue (paper Table 1 and
+   Sec. 6, inputs: link, road; weighted).  Relaxed Dijkstra: out-of-order
+   pops are corrected by fetch-min re-relaxation. *)
+
+open Rpb_core
+
+let entry : Common.entry =
+  {
+    name = "sssp";
+    full_name = "single-source shortest paths (MultiQueue)";
+    inputs = [ "link"; "road" ];
+    patterns = Pattern.[ RO; AW ];
+    dynamic = true;
+    access_sites = Pattern.[ (RO, 1); (AW, 2) ];
+    mode_note = "all switches: MQ + atomic distance relaxation";
+    prepare =
+      (fun pool ~input ~scale ->
+        let g = Graph_inputs.load pool ~name:input ~scale ~weighted:true ~symmetric:true in
+        let expected = Rpb_graph.Reference.dijkstra g ~src:0 in
+        let last = ref [||] in
+        {
+          Common.size = Graph_inputs.describe g;
+          run_seq = (fun () -> last := Rpb_graph.Reference.dijkstra g ~src:0);
+          run_par = (fun _mode -> last := Rpb_graph.Traverse.sssp pool g ~src:0);
+          verify = (fun () -> !last = expected);
+        });
+  }

@@ -1,0 +1,21 @@
+open Rpb_core
+
+type prepared = {
+  size : string;
+  run_seq : unit -> unit;
+  run_par : Mode.t -> unit;
+  verify : unit -> bool;
+}
+
+type entry = {
+  name : string;
+  full_name : string;
+  inputs : string list;
+  patterns : Pattern.access list;
+  dynamic : bool;
+  access_sites : (Pattern.access * int) list;
+  mode_note : string;
+  prepare : Rpb_pool.Pool.t -> input:string -> scale:int -> prepared;
+}
+
+let scaled base scale = base * (1 lsl scale)

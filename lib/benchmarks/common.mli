@@ -1,0 +1,26 @@
+(** Shared shape of a prepared benchmark instance. *)
+
+open Rpb_core
+
+type prepared = {
+  size : string;  (** human-readable description of the generated input *)
+  run_seq : unit -> unit;      (** the sequential baseline (PBBS stand-in) *)
+  run_par : Mode.t -> unit;    (** the parallel implementation under a switch *)
+  verify : unit -> bool;       (** checks the most recent [run_par] output *)
+}
+
+type entry = {
+  name : string;
+  full_name : string;
+  inputs : string list;   (** valid input names, first one is the default *)
+  patterns : Pattern.access list;  (** Table 1 row *)
+  dynamic : bool;         (** Table 1 "task dispatch: dynamic" column *)
+  access_sites : (Pattern.access * int) list;
+      (** number of parallel-region shared-data access sites per pattern in
+          our implementation — the Fig. 3 raw data *)
+  mode_note : string;     (** which switches differ for this benchmark *)
+  prepare : Rpb_pool.Pool.t -> input:string -> scale:int -> prepared;
+}
+
+val scaled : int -> int -> int
+(** [scaled base scale = base * 2^scale]. *)

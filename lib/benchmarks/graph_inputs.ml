@@ -1,0 +1,15 @@
+(* Shared graph-input preparation for the graph benchmarks (Table 2 inputs,
+   scaled to container size). *)
+
+(* Benchmark scale 0 corresponds to a 2^base_scale-vertex graph. *)
+let base_scale = 9
+
+let load pool ~name ~scale ~weighted ~symmetric =
+  let g =
+    Rpb_graph.Generate.by_name pool ~name ~scale:(base_scale + scale) ~weighted
+  in
+  (* The road grid is generated symmetric already. *)
+  if symmetric && name <> "road" then Rpb_graph.Csr.symmetrize pool g else g
+
+let describe g =
+  Printf.sprintf "|V|=%d |E|=%d" (Rpb_graph.Csr.n g) (Rpb_graph.Csr.m g)

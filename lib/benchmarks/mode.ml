@@ -1,0 +1,14 @@
+type t = Unsafe | Checked | Synchronized
+
+let all = [ Unsafe; Checked; Synchronized ]
+
+let name = function
+  | Unsafe -> "unsafe"
+  | Checked -> "checked"
+  | Synchronized -> "sync"
+
+let of_string = function
+  | "unsafe" -> Some Unsafe
+  | "checked" -> Some Checked
+  | "sync" | "synchronized" -> Some Synchronized
+  | _ -> None

@@ -1,0 +1,20 @@
+(** The RPB suite's switches for toggling unsafe parallel features
+    ("switches to toggle unsafe parallel features", paper Sec. 1).
+
+    Mapping to the paper's spectrum:
+    - [Unsafe]: the fastest expression — raw indirect writes, plain stores on
+      benign races (unsafe Rust);
+    - [Checked]: the interior-unsafe iterators with run-time validation
+      ([par_ind_iter_mut] / [par_ind_chunks_mut]);
+    - [Synchronized]: atomics or mutexes standing in for "unnecessary
+      synchronization" (Sec. 7.4).
+
+    For purely-AW benchmarks where no cheaper expression exists, [Unsafe] and
+    [Checked] fall back to the synchronized implementation; each benchmark's
+    registry note says which switches are distinct. *)
+
+type t = Unsafe | Checked | Synchronized
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option

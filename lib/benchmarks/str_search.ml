@@ -1,0 +1,13 @@
+(* Naive substring search used by verifiers (inputs are small). *)
+
+let find hay needle from =
+  let n = String.length hay and m = String.length needle in
+  if m = 0 then from
+  else begin
+    let rec go i =
+      if i + m > n then raise Not_found
+      else if String.sub hay i m = needle then i
+      else go (i + 1)
+    in
+    go (max 0 from)
+  end

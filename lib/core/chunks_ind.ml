@@ -1,0 +1,39 @@
+open Rpb_pool
+
+exception Non_monotonic of int
+exception Range_out_of_bounds of int
+
+let validate_monotonic pool ~n offsets =
+  let m = Array.length offsets in
+  if m > 0 then begin
+    let bad_pair = Atomic.make (-1) in
+    let bad_range = Atomic.make (-1) in
+    Pool.parallel_for ~start:0 ~finish:m
+      ~body:(fun i ->
+        let o = Array.unsafe_get offsets i in
+        if o < 0 || o > n then Atomic.set bad_range o;
+        if i + 1 < m && o > Array.unsafe_get offsets (i + 1) then
+          Atomic.set bad_pair i)
+      pool;
+    let r = Atomic.get bad_range in
+    if r <> -1 then raise (Range_out_of_bounds r);
+    let p = Atomic.get bad_pair in
+    if p <> -1 then raise (Non_monotonic p)
+  end
+
+let par_chunks_ind ?(check = true) pool ~offsets ~n ~body =
+  let m = Array.length offsets in
+  if m >= 2 then begin
+    if check then validate_monotonic pool ~n offsets;
+    Pool.parallel_for ~start:0 ~finish:(m - 1)
+      ~body:(fun i ->
+        body i (Array.unsafe_get offsets i) (Array.unsafe_get offsets (i + 1)))
+      pool
+  end
+
+let fill_chunks_ind ?check pool ~out ~offsets ~f =
+  par_chunks_ind ?check pool ~offsets ~n:(Array.length out)
+    ~body:(fun i lo hi ->
+      for j = lo to hi - 1 do
+        Array.unsafe_set out j (f i j)
+      done)

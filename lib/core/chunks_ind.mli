@@ -1,0 +1,35 @@
+(** RngInd — ranged indirect writes: task [i] owns the contiguous chunk
+    [out.(offsets.(i)) .. out.(offsets.(i+1) - 1)] (paper Sec. 5.1,
+    Listing 7).
+
+    Unlike SngInd, the prevailing form has chunk order aligned with task
+    order, so non-overlap reduces to [offsets] being monotonically
+    non-decreasing — an O(m) check that is cheap relative to the work.  This
+    is the paper's [par_ind_chunks_mut]: {e comfortable} at near-zero cost. *)
+
+open Rpb_pool
+
+exception Non_monotonic of int
+(** [Non_monotonic i] — [offsets.(i) > offsets.(i+1)]. *)
+
+exception Range_out_of_bounds of int
+(** An offset lies outside [\[0, n\]] for destination length [n]. *)
+
+val validate_monotonic : Pool.t -> n:int -> int array -> unit
+(** Raises unless [offsets] is non-decreasing with all values in
+    [\[0, n\]]. *)
+
+val par_chunks_ind :
+  ?check:bool -> Pool.t -> offsets:int array -> n:int ->
+  body:(int -> int -> int -> unit) -> unit
+(** [par_chunks_ind pool ~offsets ~n ~body] calls [body i lo hi] in parallel
+    for each chunk [i], where [lo = offsets.(i)] and [hi = offsets.(i+1)].
+    [offsets] has one more entry than there are chunks; [n] is the length of
+    the destination the chunks index into.  [check] (default [true]) runs
+    {!validate_monotonic} first; [~check:false] is the scared/unsafe build. *)
+
+val fill_chunks_ind :
+  ?check:bool -> Pool.t -> out:'a array -> offsets:int array ->
+  f:(int -> int -> 'a) -> unit
+(** Convenience instance of Listing 7(c): [out.(j) <- f i j] for each chunk
+    [i] and each [j] in that chunk. *)

@@ -1,0 +1,62 @@
+(** Rayon-style parallel operations on arrays (the regular patterns of
+    Sec. 4).
+
+    Every function is deterministic: results equal those of the obvious
+    sequential loop.  [pool] is always the first argument; operations called
+    outside [Pool.run] fall back to sequential execution. *)
+
+open Rpb_pool
+
+val map : Pool.t -> ('a -> 'b) -> 'a array -> 'b array
+(** RO: [map pool f a] is [Array.map f a] in parallel. *)
+
+val mapi : Pool.t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+val map_inplace : Pool.t -> ('a -> 'a) -> 'a array -> unit
+(** Stride (Listing 4e): [a.(i) <- f a.(i)] for every [i]; tasks touch
+    disjoint elements, the analogue of Rayon's [par_iter_mut]. *)
+
+val mapi_inplace : Pool.t -> (int -> 'a -> 'a) -> 'a array -> unit
+
+val iter : Pool.t -> ('a -> unit) -> 'a array -> unit
+(** RO consumer ([for_each]).  [f] must only perform task-private or
+    properly synchronized effects; this is the user's obligation exactly as
+    with Rayon's [for_each]. *)
+
+val iteri : Pool.t -> (int -> 'a -> unit) -> 'a array -> unit
+
+val init : Pool.t -> int -> (int -> 'a) -> 'a array
+(** Stride into a fresh array. *)
+
+val fill_stride : Pool.t -> 'a array -> (int -> 'a) -> unit
+(** [fill_stride pool a f] sets [a.(i) <- f i] — the plain Stride pattern of
+    Listing 4(b). *)
+
+val reduce : Pool.t -> ('a -> 'a -> 'a) -> 'a -> 'a array -> 'a
+(** RO: associative reduction with identity.  The shape of Listing 3(c). *)
+
+val sum : Pool.t -> int array -> int
+
+val sum_float : Pool.t -> float array -> float
+
+val min_elt : Pool.t -> cmp:('a -> 'a -> int) -> 'a array -> 'a option
+
+val max_elt : Pool.t -> cmp:('a -> 'a -> int) -> 'a array -> 'a option
+
+val count : Pool.t -> ('a -> bool) -> 'a array -> int
+
+val for_all : Pool.t -> ('a -> bool) -> 'a array -> bool
+
+val exists : Pool.t -> ('a -> bool) -> 'a array -> bool
+
+val chunks : Pool.t -> chunk:int -> 'a array -> (int -> int -> unit) -> unit
+(** Block (Listing 5): partitions indices of the array into contiguous chunks
+    of size [chunk] (last one possibly shorter) and calls [body lo hi] for
+    each, in parallel — the analogue of [par_chunks_mut]. *)
+
+val copy : Pool.t -> 'a array -> 'a array
+
+val blit : Pool.t -> src:'a array -> dst:'a array -> unit
+(** Parallel whole-array copy; lengths must match. *)
+
+val reverse_inplace : Pool.t -> 'a array -> unit

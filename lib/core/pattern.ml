@@ -1,0 +1,78 @@
+type access = RO | Stride | Block | DandC | SngInd | RngInd | AW
+
+let all_accesses = [ RO; Stride; Block; DandC; SngInd; RngInd; AW ]
+
+let access_name = function
+  | RO -> "RO"
+  | Stride -> "Stride"
+  | Block -> "Block"
+  | DandC -> "D&C"
+  | SngInd -> "SngInd"
+  | RngInd -> "RngInd"
+  | AW -> "AW"
+
+let access_of_string = function
+  | "RO" | "ro" -> Some RO
+  | "Stride" | "stride" -> Some Stride
+  | "Block" | "block" -> Some Block
+  | "D&C" | "dandc" | "dc" -> Some DandC
+  | "SngInd" | "sngind" -> Some SngInd
+  | "RngInd" | "rngind" -> Some RngInd
+  | "AW" | "aw" -> Some AW
+  | _ -> None
+
+type fear = Fearless | Comfortable | Scared
+
+let fear_name = function
+  | Fearless -> "F"
+  | Comfortable -> "C"
+  | Scared -> "S"
+
+let safety = function
+  | RO | Stride | Block | DandC -> Fearless
+  | SngInd | RngInd -> Comfortable
+  | AW -> Scared
+
+let expression = function
+  | RO -> "parallel_for_reduce / Par_array.map (Rayon par_iter)"
+  | Stride -> "Par_array.map_inplace (Rayon par_iter_mut)"
+  | Block -> "Par_array.chunks (Rayon par_chunks_mut)"
+  | DandC -> "Pool.join (Rayon join)"
+  | SngInd -> "Scatter.checked (paper's par_ind_iter_mut)"
+  | RngInd -> "Chunks_ind.par_chunks_ind (paper's par_ind_chunks_mut)"
+  | AW -> "atomics / mutexes / CAS (mix of the above)"
+
+type data_structure = Structured | Unstructured
+type operator = Read_only | Local_read_write | Arbitrary_read_write
+type dispatch = Static | Dynamic
+type ordering = Unordered | Ordered
+
+type shape = {
+  data : data_structure;
+  op : operator;
+  dispatch : dispatch;
+  ordering : ordering;
+}
+
+let irregularity_index { data; op; dispatch; ordering } =
+  (match data with Structured -> 0 | Unstructured -> 1)
+  + (match op with Read_only -> 0 | Local_read_write -> 1 | Arbitrary_read_write -> 2)
+  + (match dispatch with Static -> 0 | Dynamic -> 1)
+  + (match ordering with Unordered -> 0 | Ordered -> 1)
+
+(* Sec. 4: regular parallelism is read-only operators on any data structure,
+   or local read-write operators on structured data, statically dispatched. *)
+let is_regular { data; op; dispatch; ordering = _ } =
+  match (op, data, dispatch) with
+  | Read_only, _, Static -> true
+  | Local_read_write, Structured, Static -> true
+  | _ -> false
+
+let classify_access shape =
+  match shape.op with
+  | Read_only -> [ RO ]
+  | Local_read_write -> (
+    match shape.data with
+    | Structured -> [ Stride; Block; DandC ]
+    | Unstructured -> [ SngInd; RngInd ])
+  | Arbitrary_read_write -> [ AW ]

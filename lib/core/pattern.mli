@@ -1,0 +1,70 @@
+(** The paper's analysis framework: parallel access patterns, the three
+    dimensions of (ir)regularity (Fig. 1), and the spectrum of fear (Fig. 2,
+    Table 3).
+
+    Each RPB benchmark registers which patterns it uses; the harness derives
+    Table 1, Table 3 and Fig. 3 from these registrations. *)
+
+(** The seven access patterns of Table 3. *)
+type access =
+  | RO        (** read only: tasks never write shared data *)
+  | Stride    (** [array.(i) <- f ()] — per-element local writes *)
+  | Block     (** [array.(i*s .. (i+1)*s) <- f ()] — per-chunk local writes *)
+  | DandC     (** divide and conquer via fork-join [join] *)
+  | SngInd    (** [array.(b.(i)) <- f ()] — single-valued indirect writes *)
+  | RngInd    (** [array.(b.(i) .. b.(i+1)) <- f ()] — ranged indirect writes *)
+  | AW        (** arbitrary (potentially overlapping) reads and writes *)
+
+val all_accesses : access list
+(** In Table 3 order. *)
+
+val access_name : access -> string
+val access_of_string : string -> access option
+
+(** Fig. 2: the spectrum of fear. *)
+type fear =
+  | Fearless     (** concurrency errors are caught at compile time *)
+  | Comfortable  (** errors are caught at run time, symptom close to cause *)
+  | Scared       (** errors may happen without being detected *)
+
+val fear_name : fear -> string
+
+val safety : access -> fear
+(** Table 3's "fearlessness" column: the fear level of the paper's
+    recommended expression of each pattern. *)
+
+val expression : access -> string
+(** Table 3's "parallel expression" column, with our OCaml analogue. *)
+
+(** Fig. 1's three dimensions of task-level parallelism. *)
+
+type data_structure = Structured | Unstructured
+
+type operator = Read_only | Local_read_write | Arbitrary_read_write
+
+type dispatch = Static | Dynamic
+
+type ordering = Unordered | Ordered
+
+type shape = {
+  data : data_structure;
+  op : operator;
+  dispatch : dispatch;
+  ordering : ordering;
+}
+
+val irregularity_index : shape -> int
+(** The "parallelism irregularity index" of Fig. 1: 0 for fully regular
+    shapes, rising with each irregular dimension (arbitrary read-write counts
+    double).  A reduction on an array is 0; relaxed parallel Dijkstra
+    (arbitrary ops on unstructured data, dynamic ordered dispatch) is 5, the
+    maximum. *)
+
+val is_regular : shape -> bool
+(** A shape is regular when its data dependences are statically identifiable:
+    read-only operators on any data, or local read-write operators on
+    structured data, with static dispatch. *)
+
+val classify_access : shape -> access list
+(** Which access patterns can express a phase of the given shape fearlessly
+    or comfortably; [AW] is always a (scared) fallback. *)

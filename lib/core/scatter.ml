@@ -1,0 +1,119 @@
+open Rpb_pool
+
+exception Duplicate_offset of int
+exception Offset_out_of_range of int
+
+type mode = Unchecked | Checked | Atomic | Mutexed
+
+let mode_name = function
+  | Unchecked -> "unchecked"
+  | Checked -> "checked"
+  | Atomic -> "atomic"
+  | Mutexed -> "mutex"
+
+let all_modes = [ Unchecked; Checked; Atomic; Mutexed ]
+
+type check_strategy = Mark_table | Sort_based
+
+let check_range pool ~n offsets =
+  let bad = Atomic.make (-1) in
+  Pool.parallel_for ~start:0 ~finish:(Array.length offsets)
+    ~body:(fun i ->
+      let o = Array.unsafe_get offsets i in
+      if o < 0 || o >= n then Atomic.set bad o)
+    pool;
+  let b = Atomic.get bad in
+  if b <> -1 then raise (Offset_out_of_range b)
+
+(* Mark-table strategy, PBBS style: every index writes itself into its
+   target slot (plain stores — for duplicates an arbitrary winner survives,
+   which is all we need), then a second pass checks each index still owns
+   its slot.  The fork-join barrier between the passes orders the plain
+   writes before the reads.  Exactly one loser exists per duplicated offset,
+   so duplicates are always detected.  Cost: two parallel passes and an
+   O(n) table — the run-time price of "comfort" the paper measures. *)
+let check_unique_mark pool ~n offsets =
+  let slot = Array.make n (-1) in
+  Pool.parallel_for ~start:0 ~finish:(Array.length offsets)
+    ~body:(fun i -> Array.unsafe_set slot (Array.unsafe_get offsets i) i)
+    pool;
+  let dup = Atomic.make (-1) in
+  Pool.parallel_for ~start:0 ~finish:(Array.length offsets)
+    ~body:(fun i ->
+      let o = Array.unsafe_get offsets i in
+      if Array.unsafe_get slot o <> i then Atomic.set dup o)
+    pool;
+  let d = Atomic.get dup in
+  if d <> -1 then raise (Duplicate_offset d)
+
+let check_unique_sort _pool offsets =
+  let copy = Array.copy offsets in
+  Array.sort compare copy;
+  for i = 1 to Array.length copy - 1 do
+    if copy.(i - 1) = copy.(i) then raise (Duplicate_offset copy.(i))
+  done
+
+let validate_offsets ?(strategy = Mark_table) pool ~n offsets =
+  check_range pool ~n offsets;
+  match strategy with
+  | Mark_table -> check_unique_mark pool ~n offsets
+  | Sort_based -> check_unique_sort pool offsets
+
+let length_check ~offsets ~src =
+  if Array.length offsets <> Array.length src then
+    invalid_arg "Scatter: offsets and src length mismatch"
+
+let unchecked pool ~out ~offsets ~src =
+  length_check ~offsets ~src;
+  let n = Array.length out in
+  Pool.parallel_for ~start:0 ~finish:(Array.length src)
+    ~body:(fun i ->
+      let o = Array.unsafe_get offsets i in
+      if o < 0 || o >= n then raise (Offset_out_of_range o);
+      Array.unsafe_set out o (Array.unsafe_get src i))
+    pool
+
+let checked ?strategy pool ~out ~offsets ~src =
+  length_check ~offsets ~src;
+  validate_offsets ?strategy pool ~n:(Array.length out) offsets;
+  unchecked pool ~out ~offsets ~src
+
+let atomic pool ~out ~offsets ~src =
+  length_check ~offsets ~src;
+  let n = Rpb_prim.Atomic_array.length out in
+  Pool.parallel_for ~start:0 ~finish:(Array.length src)
+    ~body:(fun i ->
+      let o = Array.unsafe_get offsets i in
+      if o < 0 || o >= n then raise (Offset_out_of_range o);
+      Rpb_prim.Atomic_array.unsafe_set out o (Array.unsafe_get src i))
+    pool
+
+let mutexed ?(stripes = 64) pool ~out ~offsets ~src =
+  length_check ~offsets ~src;
+  assert (stripes > 0);
+  let locks = Array.init stripes (fun _ -> Mutex.create ()) in
+  let n = Array.length out in
+  Pool.parallel_for ~start:0 ~finish:(Array.length src)
+    ~body:(fun i ->
+      let o = Array.unsafe_get offsets i in
+      if o < 0 || o >= n then raise (Offset_out_of_range o);
+      let m = locks.(o mod stripes) in
+      Mutex.lock m;
+      Array.unsafe_set out o (Array.unsafe_get src i);
+      Mutex.unlock m)
+    pool
+
+let scatter mode pool ~out ~offsets ~src =
+  match mode with
+  | Unchecked -> unchecked pool ~out ~offsets ~src
+  | Checked -> checked pool ~out ~offsets ~src
+  | Mutexed -> mutexed pool ~out ~offsets ~src
+  | Atomic ->
+    invalid_arg "Scatter.scatter: Atomic mode needs Scatter.atomic"
+
+let gather pool ~src ~offsets =
+  let n = Array.length src in
+  Par_array.init pool (Array.length offsets) (fun i ->
+      let o = Array.unsafe_get offsets i in
+      if o < 0 || o >= n then raise (Offset_out_of_range o);
+      Array.unsafe_get src o)

@@ -1,0 +1,74 @@
+(** SngInd — single-valued indirect writes: [out.(offsets.(i)) <- src.(i)]
+    (paper Sec. 5.1, Listing 6).
+
+    The algorithm guarantees that offsets are unique, but neither a type
+    system nor a cheap check can prove it, so the programmer picks a point on
+    the fear spectrum:
+
+    - {!unchecked} writes directly (Rust's [unsafe] pointer write,
+      Listing 6d): fastest, {e scared} — a buggy offsets array silently
+      corrupts [out].
+    - {!checked} first validates that all offsets are unique and in range,
+      the paper's [par_ind_iter_mut] (Listing 6f): {e comfortable} — a bug
+      raises {!Duplicate_offset} at the call, but the check costs about as
+      much as the scatter itself.
+    - {!atomic} stores through atomic cells (Listing 6e): placates a
+      data-race detector but validates nothing — still {e scared}.
+    - {!mutex} takes a striped lock around each write: the "unnecessary
+      synchronization" variant of Sec. 7.4 — still {e scared}, and slow.
+
+    All variants compute the same result on valid inputs. *)
+
+open Rpb_pool
+
+exception Duplicate_offset of int
+(** [Duplicate_offset o] — offset value [o] appears more than once. *)
+
+exception Offset_out_of_range of int
+(** An offset falls outside [\[0, Array.length out)]. *)
+
+type mode = Unchecked | Checked | Atomic | Mutexed
+
+val mode_name : mode -> string
+val all_modes : mode list
+
+type check_strategy = Mark_table | Sort_based
+(** How {!checked} proves uniqueness: [Mark_table] marks a per-slot atomic
+    byte table (O(n) extra space, O(m) work); [Sort_based] sorts a copy of
+    the offsets and scans for adjacent duplicates (no per-slot table, O(m log
+    m) work).  Exposed for the ablation bench. *)
+
+val validate_offsets :
+  ?strategy:check_strategy -> Pool.t -> n:int -> int array -> unit
+(** [validate_offsets pool ~n offsets] raises {!Duplicate_offset} or
+    {!Offset_out_of_range} unless [offsets] is a duplicate-free array of
+    values in [\[0, n)].  Runs in parallel.  Default strategy: [Mark_table]. *)
+
+val unchecked : Pool.t -> out:'a array -> offsets:int array -> src:'a array -> unit
+(** Direct indirect scatter.  Offsets must be in range (bounds are always
+    enforced — OCaml has no way to turn them off unsafely here without
+    [Array.unsafe_set], which we use only after an explicit range check is
+    the caller's obligation).  Uniqueness is NOT validated. *)
+
+val checked :
+  ?strategy:check_strategy -> Pool.t ->
+  out:'a array -> offsets:int array -> src:'a array -> unit
+(** The paper's [par_ind_iter_mut]: {!validate_offsets} then scatter. *)
+
+val atomic :
+  Pool.t -> out:Rpb_prim.Atomic_array.t -> offsets:int array -> src:int array -> unit
+(** Relaxed atomic stores into an atomic destination (integer payloads). *)
+
+val mutexed :
+  ?stripes:int -> Pool.t -> out:'a array -> offsets:int array -> src:'a array -> unit
+(** Striped-lock scatter ([stripes] locks, default 64). *)
+
+val scatter :
+  mode -> Pool.t -> out:'a array -> offsets:int array -> src:'a array -> unit
+(** Dispatch on [mode] for plain arrays.  [Atomic] requires an atomic
+    destination and therefore raises [Invalid_argument] here — use {!atomic}
+    with an {!Rpb_prim.Atomic_array.t} destination instead. *)
+
+val gather : Pool.t -> src:'a array -> offsets:int array -> 'a array
+(** The read-only dual [out.(i) = src.(offsets.(i))]: always safe (regular
+    writes), included for completeness and for the benchmarks' read phases. *)

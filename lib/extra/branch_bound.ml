@@ -1,0 +1,114 @@
+open Rpb_pool
+
+module type Problem = sig
+  type state
+
+  val initial : state
+  val is_complete : state -> bool
+  val value : state -> int
+  val upper_bound : state -> int
+  val branch : state -> state list
+end
+
+let maximize pool ?(sequential_depth = 12) (module P : Problem) =
+  let best = Atomic.make min_int in
+  (* fetch_max over the incumbent. *)
+  let rec bump v =
+    let cur = Atomic.get best in
+    if v > cur && not (Atomic.compare_and_set best cur v) then bump v
+  in
+  let rec solve depth s =
+    if P.upper_bound s > Atomic.get best then begin
+      if P.is_complete s then bump (P.value s)
+      else begin
+        let children = P.branch s in
+        if depth >= sequential_depth then List.iter (solve (depth + 1)) children
+        else begin
+          (* Fork children pairwise through join to keep the tree binary. *)
+          let rec fork = function
+            | [] -> ()
+            | [ c ] -> solve (depth + 1) c
+            | c :: rest ->
+              let ((), ()) =
+                Pool.join pool
+                  (fun () -> solve (depth + 1) c)
+                  (fun () -> fork rest)
+              in
+              ()
+          in
+          fork children
+        end
+      end
+    end
+  in
+  solve 0 P.initial;
+  Atomic.get best
+
+module Knapsack = struct
+  type item = { weight : int; profit : int }
+
+  let random_instance ~n ~seed =
+    let rng = Rpb_prim.Rng.create seed in
+    let items =
+      Array.init n (fun _ ->
+          { weight = 1 + Rpb_prim.Rng.int rng 50; profit = 1 + Rpb_prim.Rng.int rng 100 })
+    in
+    let total = Array.fold_left (fun acc it -> acc + it.weight) 0 items in
+    (items, total / 2)
+
+  type state = { index : int; room : int; profit : int }
+
+  let problem items ~capacity =
+    (* Sort by profit density so the greedy fractional bound is tight. *)
+    let sorted = Array.copy items in
+    Array.sort
+      (fun (a : item) (b : item) ->
+        compare (b.profit * a.weight) (a.profit * b.weight))
+      sorted;
+    let n = Array.length sorted in
+    let module P = struct
+      type nonrec state = state
+
+      let initial = { index = 0; room = capacity; profit = 0 }
+      let is_complete s = s.index >= n
+      let value s = s.profit
+
+      (* Fractional-relaxation bound from the remaining density-sorted
+         items. *)
+      let upper_bound s =
+        let rec go i room acc =
+          if i >= n || room = 0 then acc
+          else begin
+            let it = sorted.(i) in
+            if it.weight <= room then go (i + 1) (room - it.weight) (acc + it.profit)
+            else acc + (it.profit * room / it.weight) + 1
+          end
+        in
+        go s.index s.room s.profit
+
+      let branch s =
+        let skip = { s with index = s.index + 1 } in
+        let it = sorted.(s.index) in
+        if it.weight <= s.room then
+          [
+            {
+              index = s.index + 1;
+              room = s.room - it.weight;
+              profit = s.profit + it.profit;
+            };
+            skip;
+          ]
+        else [ skip ]
+    end in
+    (module P : Problem)
+
+  let solve_dp items ~capacity =
+    let dp = Array.make (capacity + 1) 0 in
+    Array.iter
+      (fun it ->
+        for room = capacity downto it.weight do
+          dp.(room) <- max dp.(room) (dp.(room - it.weight) + it.profit)
+        done)
+      items;
+    dp.(capacity)
+end

@@ -1,0 +1,43 @@
+(** Parallel branch and bound — absent from RPB per Sec. 7.1.
+
+    Fork-join depth-first exploration with a shared atomic incumbent:
+    subtrees whose admissible upper bound cannot beat the incumbent are
+    pruned.  Pruning makes the parallel search's work schedule-dependent
+    (more or less is explored depending on how fast good incumbents
+    propagate), while the returned optimum is deterministic. *)
+
+open Rpb_pool
+
+module type Problem = sig
+  type state
+
+  val initial : state
+
+  val is_complete : state -> bool
+
+  val value : state -> int
+  (** Objective of a complete state (to be maximized). *)
+
+  val upper_bound : state -> int
+  (** Admissible: no descendant of [state] exceeds this. *)
+
+  val branch : state -> state list
+  (** Children of a non-complete state. *)
+end
+
+val maximize : Pool.t -> ?sequential_depth:int -> (module Problem) -> int
+(** The optimal objective value.  [sequential_depth] (default 12) bounds the
+    fork depth; deeper subtrees run sequentially. *)
+
+(** 0/1 knapsack as a ready-made instance (and its DP oracle for tests). *)
+module Knapsack : sig
+  type item = { weight : int; profit : int }
+
+  val random_instance : n:int -> seed:int -> item array * int
+  (** Items plus a capacity around half the total weight. *)
+
+  val problem : item array -> capacity:int -> (module Problem)
+
+  val solve_dp : item array -> capacity:int -> int
+  (** Exact dynamic-programming reference. *)
+end

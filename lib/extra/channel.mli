@@ -1,0 +1,19 @@
+(** Bounded multi-producer multi-consumer channel (mutex + condition
+    variables) — the communication substrate for {!Pipeline}. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Blocks while the channel is full.  Raises [Invalid_argument] if the
+    channel is closed. *)
+
+val recv : 'a t -> 'a option
+(** Blocks while the channel is empty; [None] once the channel is closed
+    and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes all blocked receivers. *)
+
+val length : 'a t -> int

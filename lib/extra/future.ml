@@ -1,0 +1,29 @@
+open Rpb_pool
+
+type 'a t = Now of 'a | Later of 'a Pool.promise
+
+let spawn pool f = Later (Pool.async pool f)
+
+let value x = Now x
+
+let get pool = function Now x -> x | Later p -> Pool.await pool p
+
+let poll = function
+  | Now x -> Some x
+  | Later p ->
+    (match Pool.try_result p with
+     | None -> None
+     | Some (Ok x) -> Some x
+     | Some (Error e) -> raise e)
+
+let map pool f t =
+  match t with
+  | Now x -> Later (Pool.async pool (fun () -> f x))
+  | Later p -> Later (Pool.async pool (fun () -> f (Pool.await pool p)))
+
+let both pool a b =
+  Later
+    (Pool.async pool (fun () ->
+         let x = get pool a in
+         let y = get pool b in
+         (x, y)))

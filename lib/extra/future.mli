@@ -1,0 +1,29 @@
+(** Futures — another pattern the paper's coverage list marks absent
+    (Sec. 7.1), and the vehicle for non-strict fork-join (Sec. 6: "child
+    tasks join any task").
+
+    A future is a first-class handle on a pool task: unlike [Pool.join]'s
+    strictly nested parent-child structure, a future can be passed around
+    and awaited by any task — which is precisely what makes the discipline
+    harder to check statically. *)
+
+open Rpb_pool
+
+type 'a t
+
+val spawn : Pool.t -> (unit -> 'a) -> 'a t
+
+val get : Pool.t -> 'a t -> 'a
+(** Blocks (helping: executes other pool tasks) until the value is ready.
+    Any task, not just the spawner, may call this. *)
+
+val poll : 'a t -> 'a option
+(** [None] while still running; raises if the future's task raised. *)
+
+val map : Pool.t -> ('a -> 'b) -> 'a t -> 'b t
+(** The mapped future runs as its own task once the input is available. *)
+
+val both : Pool.t -> 'a t -> 'b t -> ('a * 'b) t
+
+val value : 'a -> 'a t
+(** An already-completed future. *)

@@ -1,0 +1,71 @@
+type ('a, 'b) t =
+  | Stage : ('a -> 'b) -> ('a, 'b) t
+  | Compose : ('a, 'c) t * ('c, 'b) t -> ('a, 'b) t
+
+let stage f = Stage f
+let ( >>> ) l r = Compose (l, r)
+
+let rec stages : type a b. (a, b) t -> int = function
+  | Stage _ -> 1
+  | Compose (l, r) -> stages l + stages r
+
+(* Wire one stage: a domain that maps its input channel onto its output
+   channel.  On a stage exception the error slot is filled and the stage
+   degenerates to a drain so upstream senders never block forever. *)
+let rec wire :
+  type a b.
+    capacity:int -> exn option Atomic.t -> (a, b) t -> a Channel.t ->
+    b Channel.t * unit Domain.t list =
+ fun ~capacity err p inch ->
+  match p with
+  | Stage f ->
+    let outch = Channel.create ~capacity in
+    let d =
+      Domain.spawn (fun () ->
+          let rec run () =
+            match Channel.recv inch with
+            | None -> ()
+            | Some x ->
+              (match f x with
+               | y ->
+                 Channel.send outch y;
+                 run ()
+               | exception e ->
+                 ignore (Atomic.compare_and_set err None (Some e));
+                 drain ())
+          and drain () =
+            match Channel.recv inch with Some _ -> drain () | None -> ()
+          in
+          run ();
+          Channel.close outch)
+    in
+    (outch, [ d ])
+  | Compose (l, r) ->
+    let mid, dl = wire ~capacity err l inch in
+    let out, dr = wire ~capacity err r mid in
+    (out, dl @ dr)
+
+let run ?(queue_capacity = 64) p input =
+  let err = Atomic.make None in
+  let inch = Channel.create ~capacity:queue_capacity in
+  let outch, domains = wire ~capacity:queue_capacity err p inch in
+  let feeder =
+    Domain.spawn (fun () ->
+        Array.iter (fun x -> Channel.send inch x) input;
+        Channel.close inch)
+  in
+  let collected = ref [] in
+  let rec collect n =
+    match Channel.recv outch with
+    | Some y ->
+      collected := y :: !collected;
+      collect (n + 1)
+    | None -> n
+  in
+  let count = collect 0 in
+  Domain.join feeder;
+  List.iter Domain.join domains;
+  (match Atomic.get err with Some e -> raise e | None -> ());
+  assert (count = Array.length input);
+  let out = Array.of_list (List.rev !collected) in
+  out

@@ -1,0 +1,20 @@
+(** Parallel pipelines — absent from RPB per Sec. 7.1.
+
+    Stages are composed with {!(>>>)} and executed with one domain per
+    stage, connected by bounded channels; element order is preserved end to
+    end.  Pipelining pays off when stages have comparable cost and the
+    stream is long; a single-stage pipeline degrades to a plain map. *)
+
+type ('a, 'b) t
+
+val stage : ('a -> 'b) -> ('a, 'b) t
+
+val ( >>> ) : ('a, 'b) t -> ('b, 'c) t -> ('a, 'c) t
+
+val stages : ('a, 'b) t -> int
+
+val run : ?queue_capacity:int -> ('a, 'b) t -> 'a array -> 'b array
+(** Feed the array through the pipeline; returns outputs in input order.
+    [queue_capacity] bounds each inter-stage channel (default 64).
+    Exceptions raised by stage functions propagate (after the pipeline
+    drains). *)

@@ -1,0 +1,49 @@
+open Rpb_pool
+
+let select pool ~guard then_ else_ =
+  let (g, t), e = Pool.join pool (fun () -> Pool.join pool guard then_) else_ in
+  if g then t else e
+
+(* Poll the promises until a winner emerges, helping the pool meanwhile by
+   yielding the core (the promises are already queued as tasks). *)
+let first_some pool alternatives =
+  let promises = List.map (fun f -> Pool.async pool f) alternatives in
+  let rec scan pending =
+    match pending with
+    | [] -> None
+    | _ ->
+      let still_pending, winner =
+        List.fold_left
+          (fun (acc, winner) p ->
+            match winner with
+            | Some _ -> (acc, winner)
+            | None ->
+              (match Pool.try_result p with
+               | None -> (p :: acc, None)
+               | Some (Ok (Some _ as r)) -> (acc, Some r)
+               | Some (Ok None) -> (acc, None)
+               | Some (Error e) -> raise e))
+          ([], None) pending
+      in
+      (match winner with
+       | Some r -> r
+       | None ->
+         if still_pending = [] then None
+         else begin
+           (* Drain one pending promise by helping: awaiting the first
+              pending task contributes this worker to the pool instead of
+              spinning. *)
+           (match still_pending with
+            | p :: _ -> (try ignore (Pool.await pool p) with _ -> ())
+            | [] -> ());
+           scan still_pending
+         end)
+  in
+  scan promises
+
+let fastest pool = function
+  | [] -> invalid_arg "Speculate.fastest: no alternatives"
+  | alternatives ->
+    (match first_some pool (List.map (fun f () -> Some (f ())) alternatives) with
+     | Some x -> x
+     | None -> assert false)

@@ -1,0 +1,23 @@
+(** Speculative selection — evaluate alternatives before knowing which is
+    needed (absent from RPB per Sec. 7.1).
+
+    There is no task cancellation: losing speculations run to completion and
+    their work is wasted, which is the fundamental cost/benefit trade-off of
+    speculation.  Speculated computations must be pure (their side effects
+    would survive losing). *)
+
+open Rpb_pool
+
+val select : Pool.t -> guard:(unit -> bool) -> (unit -> 'a) -> (unit -> 'a) -> 'a
+(** [select pool ~guard then_ else_] evaluates the guard and BOTH branches
+    in parallel, returning the branch the guard picks. *)
+
+val first_some : Pool.t -> (unit -> 'a option) list -> 'a option
+(** Run all alternatives in parallel; return the result of the first (by
+    completion time) that yields [Some].  [None] if every alternative
+    declines.  Exceptions from alternatives that finish before a winner are
+    re-raised. *)
+
+val fastest : Pool.t -> (unit -> 'a) list -> 'a
+(** First-come-first-served over equivalent computations (e.g. two
+    algorithms for the same answer). *)

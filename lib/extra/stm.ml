@@ -1,0 +1,123 @@
+(* TL2-style STM.  Versions are even when unlocked; an odd version means a
+   committing transaction holds the write lock.  The global clock advances by
+   2 per commit so versions stay even. *)
+
+type tvar = {
+  id : int;
+  mutable value : int;
+  version : int Atomic.t;
+}
+
+exception Abort
+
+(* Internal conflict signal: retry the transaction. *)
+exception Conflict
+
+type tx = {
+  rv : int; (* snapshot version: all reads must be <= rv *)
+  mutable reads : (tvar * int) list; (* (var, version seen) *)
+  writes : (int, tvar * int) Hashtbl.t;
+}
+
+let clock = Atomic.make 0
+let next_id = Atomic.make 0
+let commits = Atomic.make 0
+let aborts = Atomic.make 0
+
+let tvar v =
+  { id = Atomic.fetch_and_add next_id 1; value = v; version = Atomic.make 0 }
+
+let read tx v =
+  match Hashtbl.find_opt tx.writes v.id with
+  | Some (_, buffered) -> buffered
+  | None ->
+    let v1 = Atomic.get v.version in
+    if v1 land 1 = 1 || v1 > tx.rv then raise Conflict;
+    let x = v.value in
+    (* Re-check: if the version moved we may have read a torn snapshot. *)
+    if Atomic.get v.version <> v1 then raise Conflict;
+    tx.reads <- (v, v1) :: tx.reads;
+    x
+
+let write tx v x = Hashtbl.replace tx.writes v.id (v, x)
+
+(* Returns the pre-lock version on success so rollback can restore it. *)
+let try_lock v rv =
+  let ver = Atomic.get v.version in
+  if ver land 1 = 1 || ver > rv then None
+  else if Atomic.compare_and_set v.version ver (ver + 1) then Some ver
+  else None
+
+let unlock_var v old_version = Atomic.set v.version old_version
+
+let commit tx =
+  (* Lock the write set in id order (total order -> no deadlock). *)
+  let writes =
+    List.sort
+      (fun (_, (a, _)) (_, (b, _)) -> compare a.id b.id)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tx.writes [])
+  in
+  let locked = ref [] in
+  let rollback () =
+    List.iter (fun (v, old) -> unlock_var v old) !locked;
+    raise Conflict
+  in
+  List.iter
+    (fun (_, (v, _)) ->
+      match try_lock v tx.rv with
+      | Some before -> locked := (v, before) :: !locked
+      | None -> rollback ())
+    writes;
+  (* Validate the read set: unchanged and not locked by someone else. *)
+  List.iter
+    (fun (v, seen) ->
+      let cur = Atomic.get v.version in
+      let owned = Hashtbl.mem tx.writes v.id in
+      if (not owned) && cur <> seen then rollback ();
+      if owned && cur <> seen + 1 && cur <> seen then rollback ())
+    tx.reads;
+  let wv = Atomic.fetch_and_add clock 2 + 2 in
+  List.iter
+    (fun (_, (v, x)) ->
+      v.value <- x;
+      Atomic.set v.version wv)
+    writes;
+  Atomic.incr commits
+
+let atomically body =
+  let rng = Rpb_prim.Rng.create (Domain.self () :> int) in
+  let rec attempt backoff =
+    let tx = { rv = Atomic.get clock; reads = []; writes = Hashtbl.create 8 } in
+    match
+      let result = body tx in
+      commit tx;
+      result
+    with
+    | result -> result
+    | exception Conflict ->
+      Atomic.incr aborts;
+      (* Randomized exponential backoff to break livelock. *)
+      for _ = 1 to Rpb_prim.Rng.int rng (backoff + 1) do
+        Domain.cpu_relax ()
+      done;
+      attempt (min 4096 (2 * backoff))
+  in
+  attempt 8
+
+let get v =
+  let rec go () =
+    let v1 = Atomic.get v.version in
+    if v1 land 1 = 1 then begin
+      Domain.cpu_relax ();
+      go ()
+    end
+    else begin
+      let x = v.value in
+      if Atomic.get v.version <> v1 then go () else x
+    end
+  in
+  go ()
+
+let set v x = atomically (fun tx -> write tx v x)
+
+let stats () = (Atomic.get commits, Atomic.get aborts)

@@ -1,0 +1,41 @@
+(** Software transactional memory over integer variables (TL2-style), the
+    "transactions" pattern the paper lists as absent from RPB (Sec. 7.1) and
+    discusses as the classic alternative for irregular parallelism
+    (Sec. 8.2).
+
+    Versioned write-locking with a global version clock: reads validate
+    against a snapshot version, commits lock their write set in id order,
+    re-validate the read set, and publish atomically.  Conflicting
+    transactions abort and retry with randomized backoff.
+
+    Variables hold [int]s; like the rest of RPB, richer state is modelled as
+    indices into arrays of tvars. *)
+
+type tvar
+
+type tx
+
+exception Abort
+(** Raise inside a transaction body to roll back and NOT retry (user
+    abort). *)
+
+val tvar : int -> tvar
+(** A fresh transactional variable. *)
+
+val atomically : (tx -> 'a) -> 'a
+(** Run the body as a transaction: all {!read}s see a consistent snapshot
+    and all {!write}s commit atomically, or the body is re-executed.  Bodies
+    must therefore be free of irrevocable side effects. *)
+
+val read : tx -> tvar -> int
+
+val write : tx -> tvar -> int -> unit
+
+val get : tvar -> int
+(** Non-transactional atomic read (a degenerate read-only transaction). *)
+
+val set : tvar -> int -> unit
+(** Non-transactional write (a degenerate one-write transaction). *)
+
+val stats : unit -> int * int
+(** (commits, aborts) since program start, for tests and benches. *)

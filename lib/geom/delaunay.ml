@@ -1,0 +1,37 @@
+let triangulate ?(seed = 42) points =
+  let mesh = Mesh.create points in
+  let order = Rpb_prim.Rng.permutation (Rpb_prim.Rng.create seed) (Array.length points) in
+  Array.iter (fun i -> ignore (Mesh.insert mesh points.(i))) order;
+  mesh
+
+let is_delaunay ?(sample = 50_000) pool mesh =
+  let tris = Mesh.real_triangles pool mesh in
+  let nt = Array.length tris in
+  let nv = Mesh.num_vertices mesh in
+  let check_pair ti v =
+    let a, b, c = Mesh.tri_vertices mesh ti in
+    if v = a || v = b || v = c then true
+    else begin
+      let pa, pb, pc = Mesh.tri_points mesh ti in
+      not (Point.in_circle pa pb pc (Mesh.point mesh v))
+    end
+  in
+  if nt = 0 then true
+  else if nt * (nv - 3) <= sample then
+    (* Exhaustive check over input vertices (ids 3..). *)
+    Rpb_pool.Pool.parallel_for_reduce ~start:0 ~finish:nt
+      ~body:(fun j ->
+        let ti = tris.(j) in
+        let ok = ref true in
+        for v = 3 to nv - 1 do
+          if not (check_pair ti v) then ok := false
+        done;
+        !ok)
+      ~combine:( && ) ~init:true pool
+  else
+    Rpb_pool.Pool.parallel_for_reduce ~start:0 ~finish:sample
+      ~body:(fun s ->
+        let ti = tris.(Rpb_prim.Rng.hash64 (2 * s) mod nt) in
+        let v = 3 + (Rpb_prim.Rng.hash64 ((2 * s) + 1) mod (nv - 3)) in
+        check_pair ti v)
+      ~combine:( && ) ~init:true pool

@@ -1,0 +1,11 @@
+(** Delaunay triangulation by randomized incremental insertion
+    (Bowyer–Watson). *)
+
+val triangulate : ?seed:int -> Point.t array -> Mesh.t
+(** Insert the points in a deterministic random order.  Duplicate points are
+    silently skipped. *)
+
+val is_delaunay : ?sample:int -> Rpb_pool.Pool.t -> Mesh.t -> bool
+(** Empty-circumcircle property over real triangles.  Checks all vertices
+    against every triangle when the mesh is small, otherwise a deterministic
+    sample of [sample] triangle/vertex pairs (default 50_000). *)

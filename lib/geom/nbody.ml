@@ -1,0 +1,193 @@
+open Rpb_pool
+
+type bodies = {
+  px : float array;
+  py : float array;
+  vx : float array;
+  vy : float array;
+  mass : float array;
+}
+
+let softening2 = 1e-6
+let gravity = 1.0
+
+let random_bodies ~n ~seed =
+  let pts = Pointgen.kuzmin ~n ~seed in
+  {
+    px = Array.map (fun (p : Point.t) -> p.Point.x) pts;
+    py = Array.map (fun (p : Point.t) -> p.Point.y) pts;
+    vx = Array.make n 0.0;
+    vy = Array.make n 0.0;
+    mass =
+      Array.init n (fun i ->
+          0.5 +. (float_of_int (Rpb_prim.Rng.hash64 ((seed * 97) + i) mod 1000) /. 1000.0));
+  }
+
+(* Mass-aggregated quadtree.  Nodes carry total mass, centre of mass, and
+   their cell's side length for the opening-angle test. *)
+type node =
+  | Leaf of int array
+  | Cell of {
+      cx : float;
+      cy : float; (* geometric centre (split point) *)
+      side : float;
+      m : float; (* aggregated mass *)
+      mx : float;
+      my : float; (* centre of mass *)
+      children : node array;
+    }
+
+let node_mass = function
+  | Leaf _ -> assert false
+  | Cell { m; _ } -> m
+
+let build_tree pool b =
+  let n = Array.length b.px in
+  let minx = Array.fold_left Float.min infinity b.px in
+  let maxx = Array.fold_left Float.max neg_infinity b.px in
+  let miny = Array.fold_left Float.min infinity b.py in
+  let maxy = Array.fold_left Float.max neg_infinity b.py in
+  let leaf_size = 8 and max_depth = 48 in
+  let quadrant cx cy i =
+    (if b.py.(i) < cy then 0 else 2) + if b.px.(i) < cx then 0 else 1
+  in
+  let rec go depth idx x0 y0 x1 y1 =
+    if Array.length idx <= leaf_size || depth >= max_depth then Leaf idx
+    else begin
+      let cx = (x0 +. x1) /. 2.0 and cy = (y0 +. y1) /. 2.0 in
+      let part q = Rpb_parseq.Pack.pack pool (fun i -> quadrant cx cy i = q) idx in
+      let subs = [| part 0; part 1; part 2; part 3 |] in
+      let child q =
+        let x0', x1' = if q land 1 = 0 then (x0, cx) else (cx, x1) in
+        let y0', y1' = if q land 2 = 0 then (y0, cy) else (cy, y1) in
+        go (depth + 1) subs.(q) x0' y0' x1' y1'
+      in
+      let (c0, c1), (c2, c3) =
+        Pool.join pool
+          (fun () -> Pool.join pool (fun () -> child 0) (fun () -> child 1))
+          (fun () -> Pool.join pool (fun () -> child 2) (fun () -> child 3))
+      in
+      let children = [| c0; c1; c2; c3 |] in
+      (* Aggregate mass and centroid bottom-up. *)
+      let m = ref 0.0 and mx = ref 0.0 and my = ref 0.0 in
+      Array.iter
+        (function
+          | Leaf idx ->
+            Array.iter
+              (fun i ->
+                m := !m +. b.mass.(i);
+                mx := !mx +. (b.mass.(i) *. b.px.(i));
+                my := !my +. (b.mass.(i) *. b.py.(i)))
+              idx
+          | Cell { m = cm; mx = cmx; my = cmy; _ } ->
+            m := !m +. cm;
+            mx := !mx +. (cm *. cmx);
+            my := !my +. (cm *. cmy))
+        children;
+      let m = !m in
+      let inv = if m = 0.0 then 0.0 else 1.0 /. m in
+      Cell
+        {
+          cx;
+          cy;
+          side = Float.max (x1 -. x0) (y1 -. y0);
+          m;
+          mx = !mx *. inv;
+          my = !my *. inv;
+          children;
+        }
+    end
+  in
+  let all = Rpb_core.Par_array.init pool n Fun.id in
+  let minx = if n = 0 then 0.0 else minx
+  and maxx = if n = 0 then 1.0 else maxx
+  and miny = if n = 0 then 0.0 else miny
+  and maxy = if n = 0 then 1.0 else maxy in
+  go 0 all minx miny maxx maxy
+
+let accumulate_pair b i ~xj ~yj ~mj ax ay =
+  let dx = xj -. b.px.(i) and dy = yj -. b.py.(i) in
+  let d2 = (dx *. dx) +. (dy *. dy) +. softening2 in
+  let inv = gravity *. mj /. (d2 *. sqrt d2) in
+  ax := !ax +. (dx *. inv);
+  ay := !ay +. (dy *. inv)
+
+let forces ?(theta = 0.5) pool b =
+  let n = Array.length b.px in
+  let tree = build_tree pool b in
+  let ax = Array.make n 0.0 and ay = Array.make n 0.0 in
+  let theta2 = theta *. theta in
+  Pool.parallel_for ~start:0 ~finish:n
+    ~body:(fun i ->
+      let axr = ref 0.0 and ayr = ref 0.0 in
+      let rec visit = function
+        | Leaf idx ->
+          Array.iter
+            (fun j ->
+              if j <> i then
+                accumulate_pair b i ~xj:b.px.(j) ~yj:b.py.(j) ~mj:b.mass.(j) axr ayr)
+            idx
+        | Cell { side; m; mx; my; children; _ } as cell ->
+          let dx = mx -. b.px.(i) and dy = my -. b.py.(i) in
+          let d2 = (dx *. dx) +. (dy *. dy) in
+          if m > 0.0 && side *. side < theta2 *. d2 then
+            accumulate_pair b i ~xj:mx ~yj:my ~mj:(node_mass cell) axr ayr
+          else Array.iter visit children
+      in
+      visit tree;
+      ax.(i) <- !axr;
+      ay.(i) <- !ayr)
+    pool;
+  (ax, ay)
+
+let forces_direct pool b =
+  let n = Array.length b.px in
+  let ax = Array.make n 0.0 and ay = Array.make n 0.0 in
+  Pool.parallel_for ~start:0 ~finish:n
+    ~body:(fun i ->
+      let axr = ref 0.0 and ayr = ref 0.0 in
+      for j = 0 to n - 1 do
+        if j <> i then
+          accumulate_pair b i ~xj:b.px.(j) ~yj:b.py.(j) ~mj:b.mass.(j) axr ayr
+      done;
+      ax.(i) <- !axr;
+      ay.(i) <- !ayr)
+    pool;
+  (ax, ay)
+
+let step ?theta ?(dt = 0.01) pool b =
+  let ax, ay = forces ?theta pool b in
+  Pool.parallel_for ~start:0 ~finish:(Array.length b.px)
+    ~body:(fun i ->
+      b.vx.(i) <- b.vx.(i) +. (dt *. ax.(i));
+      b.vy.(i) <- b.vy.(i) +. (dt *. ay.(i));
+      b.px.(i) <- b.px.(i) +. (dt *. b.vx.(i));
+      b.py.(i) <- b.py.(i) +. (dt *. b.vy.(i)))
+    pool
+
+let simulate ?theta ?dt ~steps pool b =
+  for _ = 1 to steps do
+    step ?theta ?dt pool b
+  done
+
+let total_momentum b =
+  let px = ref 0.0 and py = ref 0.0 in
+  Array.iteri
+    (fun i m ->
+      px := !px +. (m *. b.vx.(i));
+      py := !py +. (m *. b.vy.(i)))
+    b.mass;
+  (!px, !py)
+
+let rms_error (ax1, ay1) (ax2, ay2) =
+  let n = Array.length ax1 in
+  if n = 0 then 0.0
+  else begin
+    let num = ref 0.0 and den = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = ax1.(i) -. ax2.(i) and dy = ay1.(i) -. ay2.(i) in
+      num := !num +. (dx *. dx) +. (dy *. dy);
+      den := !den +. (ax2.(i) *. ax2.(i)) +. (ay2.(i) *. ay2.(i))
+    done;
+    if !den = 0.0 then 0.0 else sqrt (!num /. !den)
+  end

@@ -1,0 +1,41 @@
+(** Barnes–Hut n-body — PBBS's nbody benchmark.
+
+    A mass-aggregated quadtree (built by fork-join over quadrants) lets each
+    body approximate the far field by node centroids: tree construction is
+    D&C, force evaluation is read-only and embarrassingly parallel, and
+    integration is a Stride pass — an all-fearless benchmark with heavy
+    numeric work.
+
+    Plummer-softened gravity: F = G·m1·m2·d / (|d|^2 + eps^2)^(3/2). *)
+
+open Rpb_pool
+
+type bodies = {
+  px : float array;
+  py : float array;
+  vx : float array;
+  vy : float array;
+  mass : float array;
+}
+
+val random_bodies : n:int -> seed:int -> bodies
+(** Kuzmin-distributed positions, unit-ish masses, zero velocities. *)
+
+val forces :
+  ?theta:float -> Pool.t -> bodies -> float array * float array
+(** Per-body accelerations (ax, ay) under the Barnes–Hut approximation with
+    opening angle [theta] (default 0.5; [theta = 0] degenerates to exact
+    pairwise summation through the tree). *)
+
+val forces_direct : Pool.t -> bodies -> float array * float array
+(** Exact O(n^2) pairwise accelerations — the verification oracle. *)
+
+val step : ?theta:float -> ?dt:float -> Pool.t -> bodies -> unit
+(** One leapfrog-ish integration step in place (default [dt] 0.01). *)
+
+val simulate : ?theta:float -> ?dt:float -> steps:int -> Pool.t -> bodies -> unit
+
+val total_momentum : bodies -> float * float
+
+val rms_error : float array * float array -> float array * float array -> float
+(** Relative RMS difference between two acceleration fields. *)

@@ -1,0 +1,66 @@
+type t = { x : float; y : float }
+
+let make x y = { x; y }
+
+let dist2 a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  (dx *. dx) +. (dy *. dy)
+
+let dist a b = sqrt (dist2 a b)
+
+let orient2d a b c =
+  ((b.x -. a.x) *. (c.y -. a.y)) -. ((b.y -. a.y) *. (c.x -. a.x))
+
+let ccw a b c = orient2d a b c > 0.0
+
+let in_circle a b c d =
+  let adx = a.x -. d.x and ady = a.y -. d.y in
+  let bdx = b.x -. d.x and bdy = b.y -. d.y in
+  let cdx = c.x -. d.x and cdy = c.y -. d.y in
+  let ad2 = (adx *. adx) +. (ady *. ady) in
+  let bd2 = (bdx *. bdx) +. (bdy *. bdy) in
+  let cd2 = (cdx *. cdx) +. (cdy *. cdy) in
+  let det =
+    (adx *. ((bdy *. cd2) -. (bd2 *. cdy)))
+    -. (ady *. ((bdx *. cd2) -. (bd2 *. cdx)))
+    +. (ad2 *. ((bdx *. cdy) -. (bdy *. cdx)))
+  in
+  det > 0.0
+
+let circumcenter a b c =
+  let d = 2.0 *. orient2d a b c in
+  if Float.abs d < 1e-12 then None
+  else begin
+    let a2 = (a.x *. a.x) +. (a.y *. a.y) in
+    let b2 = (b.x *. b.x) +. (b.y *. b.y) in
+    let c2 = (c.x *. c.x) +. (c.y *. c.y) in
+    let ux = ((a2 *. (b.y -. c.y)) +. (b2 *. (c.y -. a.y)) +. (c2 *. (a.y -. b.y))) /. d in
+    let uy = ((a2 *. (c.x -. b.x)) +. (b2 *. (a.x -. c.x)) +. (c2 *. (b.x -. a.x))) /. d in
+    Some { x = ux; y = uy }
+  end
+
+let circumradius2 a b c =
+  match circumcenter a b c with
+  | None -> infinity
+  | Some o -> dist2 o a
+
+let triangle_area a b c = Float.abs (orient2d a b c) /. 2.0
+
+let min_angle a b c =
+  let la2 = dist2 b c and lb2 = dist2 a c and lc2 = dist2 a b in
+  if la2 = 0.0 || lb2 = 0.0 || lc2 = 0.0 then 0.0
+  else begin
+    let angle opp2 s1 s2 =
+      (* law of cosines; clamp for safety *)
+      let v = (s1 +. s2 -. opp2) /. (2.0 *. sqrt (s1 *. s2)) in
+      acos (Float.min 1.0 (Float.max (-1.0) v))
+    in
+    let aa = angle la2 lb2 lc2 in
+    let ab = angle lb2 la2 lc2 in
+    let ac = Float.pi -. aa -. ab in
+    let m = Float.min aa (Float.min ab ac) in
+    m *. 180.0 /. Float.pi
+  end
+
+let point_in_triangle a b c p =
+  orient2d a b p >= 0.0 && orient2d b c p >= 0.0 && orient2d c a p >= 0.0

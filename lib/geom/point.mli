@@ -1,0 +1,40 @@
+(** 2-D points and the geometric predicates underneath Delaunay refinement.
+
+    Predicates use plain double arithmetic (not exact/adaptive arithmetic a
+    la Shewchuk); inputs from our generators are well-conditioned and the
+    mesh code treats near-zero determinants as degenerate and perturbs.  This
+    substitution is recorded in DESIGN.md. *)
+
+type t = { x : float; y : float }
+
+val make : float -> float -> t
+
+val dist2 : t -> t -> float
+(** Squared Euclidean distance. *)
+
+val dist : t -> t -> float
+
+val orient2d : t -> t -> t -> float
+(** Positive if [a -> b -> c] turns counter-clockwise, negative if
+    clockwise, near zero if collinear. *)
+
+val ccw : t -> t -> t -> bool
+
+val in_circle : t -> t -> t -> t -> bool
+(** [in_circle a b c d]: is [d] strictly inside the circumcircle of the CCW
+    triangle [a b c]? *)
+
+val circumcenter : t -> t -> t -> t option
+(** [None] when the triangle is (near-)degenerate. *)
+
+val circumradius2 : t -> t -> t -> float
+(** Squared circumradius; [infinity] for degenerate triangles. *)
+
+val triangle_area : t -> t -> t -> float
+(** Unsigned area. *)
+
+val min_angle : t -> t -> t -> float
+(** Smallest interior angle, in degrees; 0 for degenerate triangles. *)
+
+val point_in_triangle : t -> t -> t -> t -> bool
+(** Inside or on the boundary of the CCW triangle. *)

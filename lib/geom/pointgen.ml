@@ -1,0 +1,24 @@
+let unit_float seed i =
+  float_of_int (Rpb_prim.Rng.hash64 ((seed * 0x1009) + i) mod 1_048_576)
+  /. 1_048_576.0
+
+let uniform_square ~n ~seed =
+  Array.init n (fun i ->
+      Point.make (unit_float seed (2 * i)) (unit_float seed ((2 * i) + 1)))
+
+let kuzmin ~n ~seed =
+  Array.init n (fun i ->
+      let u = Float.max 1e-9 (Float.min (1.0 -. 1e-9) (unit_float seed (2 * i))) in
+      (* Inverse of the Kuzmin cumulative mass m(r) = 1 - 1/sqrt(1 + r^2). *)
+      let r = sqrt ((1.0 /. ((1.0 -. u) ** 2.0)) -. 1.0) in
+      (* Clamp the unbounded tail so the domain stays compact. *)
+      let r = Float.min r 16.0 in
+      let theta = 2.0 *. Float.pi *. unit_float seed ((2 * i) + 1) in
+      Point.make (r *. cos theta) (r *. sin theta))
+
+let grid_jittered ~side ~seed =
+  Array.init (side * side) (fun i ->
+      let r = i / side and c = i mod side in
+      let jx = (unit_float seed (2 * i) -. 0.5) *. 0.4 in
+      let jy = (unit_float seed ((2 * i) + 1) -. 0.5) *. 0.4 in
+      Point.make (float_of_int c +. jx) (float_of_int r +. jy))

@@ -1,0 +1,14 @@
+(** Deterministic point-set generators.  The paper's [dr] input is PBBS's
+    "kuzmin" distribution: radially symmetric with a heavy central
+    concentration, which produces the skinny triangles refinement exists to
+    fix. *)
+
+val uniform_square : n:int -> seed:int -> Point.t array
+(** Uniform in the unit square. *)
+
+val kuzmin : n:int -> seed:int -> Point.t array
+(** Kuzmin-disk distribution (density falling off as [1/(1+r^2)^(3/2)]),
+    normalized to fit within a few units of the origin. *)
+
+val grid_jittered : side:int -> seed:int -> Point.t array
+(** [side x side] grid with small random jitter (well-spread baseline). *)

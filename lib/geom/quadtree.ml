@@ -1,0 +1,155 @@
+open Rpb_pool
+
+type node =
+  | Leaf of int array (* indices into the point array *)
+  | Node of {
+      cx : float;
+      cy : float;
+      (* children: quadrant order SW, SE, NW, NE *)
+      children : node array;
+    }
+
+type t = {
+  points : Point.t array;
+  root : node;
+  minx : float;
+  miny : float;
+  maxx : float;
+  maxy : float;
+}
+
+let quadrant cx cy (p : Point.t) =
+  (if p.Point.y < cy then 0 else 2) + if p.Point.x < cx then 0 else 1
+
+let build ?(leaf_size = 16) pool points =
+  if leaf_size < 1 then invalid_arg "Quadtree.build: leaf_size >= 1";
+  let n = Array.length points in
+  let minx = ref infinity and maxx = ref neg_infinity in
+  let miny = ref infinity and maxy = ref neg_infinity in
+  Array.iter
+    (fun (p : Point.t) ->
+      minx := Float.min !minx p.Point.x;
+      maxx := Float.max !maxx p.Point.x;
+      miny := Float.min !miny p.Point.y;
+      maxy := Float.max !maxy p.Point.y)
+    points;
+  let minx = if n = 0 then 0.0 else !minx
+  and maxx = if n = 0 then 1.0 else !maxx
+  and miny = if n = 0 then 0.0 else !miny
+  and maxy = if n = 0 then 1.0 else !maxy in
+  (* All-identical point clouds cannot be split; depth is capped instead. *)
+  let max_depth = 48 in
+  let rec go depth idx x0 y0 x1 y1 =
+    if Array.length idx <= leaf_size || depth >= max_depth then Leaf idx
+    else begin
+      let cx = (x0 +. x1) /. 2.0 and cy = (y0 +. y1) /. 2.0 in
+      let part q =
+        Rpb_parseq.Pack.pack pool (fun i -> quadrant cx cy points.(i) = q) idx
+      in
+      let sw = part 0 and se = part 1 and nw = part 2 and ne = part 3 in
+      let build_child q sub =
+        let x0', x1' = if q land 1 = 0 then (x0, cx) else (cx, x1) in
+        let y0', y1' = if q land 2 = 0 then (y0, cy) else (cy, y1) in
+        go (depth + 1) sub x0' y0' x1' y1'
+      in
+      (* Fork the two heavier quadrant pairs. *)
+      let (c0, c1), (c2, c3) =
+        Pool.join pool
+          (fun () ->
+            Pool.join pool
+              (fun () -> build_child 0 sw)
+              (fun () -> build_child 1 se))
+          (fun () ->
+            Pool.join pool
+              (fun () -> build_child 2 nw)
+              (fun () -> build_child 3 ne))
+      in
+      Node { cx; cy; children = [| c0; c1; c2; c3 |] }
+    end
+  in
+  let all = Rpb_core.Par_array.init pool n Fun.id in
+  { points; root = go 0 all minx miny maxx maxy; minx; miny; maxx; maxy }
+
+let size t = Array.length t.points
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Node { children; _ } -> 1 + Array.fold_left (fun acc c -> max acc (go c)) 0 children
+  in
+  go t.root
+
+(* Best-first search with a small sorted candidate list of size k. *)
+let k_nearest t ~k (q : Point.t) =
+  if k < 1 then [||]
+  else begin
+    (* (dist2, index) candidates, worst first at the end. *)
+    let best = ref [] in
+    let nbest = ref 0 in
+    let worst () =
+      match !best with [] -> infinity | _ -> fst (List.nth !best (!nbest - 1))
+    in
+    let add d2 i =
+      if !nbest < k || d2 < worst () || (d2 = worst () && false) then begin
+        let inserted =
+          List.merge compare [ (d2, i) ] !best
+        in
+        let trimmed = List.filteri (fun j _ -> j < k) inserted in
+        best := trimmed;
+        nbest := List.length trimmed
+      end
+    in
+    (* Squared distance from q to a rectangle. *)
+    let rect_dist2 x0 y0 x1 y1 =
+      let dx =
+        if q.Point.x < x0 then x0 -. q.Point.x
+        else if q.Point.x > x1 then q.Point.x -. x1
+        else 0.0
+      in
+      let dy =
+        if q.Point.y < y0 then y0 -. q.Point.y
+        else if q.Point.y > y1 then q.Point.y -. y1
+        else 0.0
+      in
+      (dx *. dx) +. (dy *. dy)
+    in
+    let rec visit node x0 y0 x1 y1 =
+      if not (!nbest >= k && rect_dist2 x0 y0 x1 y1 > worst ()) then
+        match node with
+        | Leaf idx ->
+          Array.iter (fun i -> add (Point.dist2 q t.points.(i)) i) idx
+        | Node { cx; cy; children } ->
+          (* Visit the quadrant containing q first for early pruning. *)
+          let mine = quadrant cx cy q in
+          let order = [| mine; mine lxor 1; mine lxor 2; mine lxor 3 |] in
+          Array.iter
+            (fun qd ->
+              let x0', x1' = if qd land 1 = 0 then (x0, cx) else (cx, x1) in
+              let y0', y1' = if qd land 2 = 0 then (y0, cy) else (cy, y1) in
+              visit children.(qd) x0' y0' x1' y1')
+            order
+    in
+    visit t.root t.minx t.miny t.maxx t.maxy;
+    Array.of_list (List.map snd !best)
+  end
+
+let nearest t q =
+  match k_nearest t ~k:1 q with [||] -> None | a -> Some a.(0)
+
+let nearest_neighbors pool t queries =
+  Rpb_core.Par_array.init pool (Array.length queries) (fun i ->
+      match nearest t queries.(i) with
+      | Some j -> j
+      | None -> -1)
+
+let nearest_naive points q =
+  let best = ref None in
+  Array.iteri
+    (fun i p ->
+      let d = Point.dist2 q p in
+      match !best with
+      | None -> best := Some (d, i)
+      | Some (bd, _) when d < bd -> best := Some (d, i)
+      | Some _ -> ())
+    points;
+  Option.map snd !best

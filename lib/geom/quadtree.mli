@@ -1,0 +1,31 @@
+(** Point quadtree — the spatial substrate of PBBS's nearest-neighbour
+    benchmark.  Construction is divide-and-conquer (fork-join over the four
+    quadrants); queries are read-only and embarrassingly parallel — both
+    fearless patterns. *)
+
+open Rpb_pool
+
+type t
+
+val build : ?leaf_size:int -> Pool.t -> Point.t array -> t
+(** Build over a point set (duplicates allowed).  [leaf_size] (default 16)
+    bounds points per leaf. *)
+
+val size : t -> int
+(** Number of points stored. *)
+
+val depth : t -> int
+
+val nearest : t -> Point.t -> int option
+(** Index of a closest stored point ([None] for an empty tree). *)
+
+val k_nearest : t -> k:int -> Point.t -> int array
+(** Indices of the [k] closest points, nearest first (fewer if the tree is
+    smaller than [k]).  Ties broken by index. *)
+
+val nearest_neighbors : Pool.t -> t -> Point.t array -> int array
+(** The PBBS benchmark: for every query point, the index of its nearest
+    stored point, computed in parallel. *)
+
+val nearest_naive : Point.t array -> Point.t -> int option
+(** Linear-scan oracle. *)

@@ -1,0 +1,132 @@
+open Rpb_pool
+
+(* Signed distance proxy of point p from line a->b (positive = left). *)
+let side (a : Point.t) (b : Point.t) (p : Point.t) = Point.orient2d a b p
+
+let farthest pool pts (idx : int array) a b =
+  Pool.parallel_for_reduce ~start:0 ~finish:(Array.length idx)
+    ~body:(fun j ->
+      let i = idx.(j) in
+      (side a b pts.(i), i))
+    ~combine:(fun (d1, i1) (d2, i2) ->
+      if d1 > d2 || (d1 = d2 && i1 <= i2) then (d1, i1) else (d2, i2))
+    ~init:(neg_infinity, -1) pool
+
+(* Hull arc strictly left of a->b, returned as the indices between a and b
+   (exclusive), in CCW order. *)
+let rec arc pool pts idx ia ib =
+  if Array.length idx = 0 then []
+  else begin
+    let a = pts.(ia) and b = pts.(ib) in
+    let _, ic = farthest pool pts idx a b in
+    if ic = -1 then []
+    else begin
+      let c = pts.(ic) in
+      (* Only survivors strictly outside the two new edges can be hull
+         points. *)
+      let left = Rpb_parseq.Pack.pack pool (fun i -> side a c pts.(i) > 0.0) idx in
+      let right = Rpb_parseq.Pack.pack pool (fun i -> side c b pts.(i) > 0.0) idx in
+      let l, r =
+        Pool.join pool
+          (fun () -> arc pool pts left ia ic)
+          (fun () -> arc pool pts right ic ib)
+      in
+      l @ (ic :: r)
+    end
+  end
+
+let convex_hull pool pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Quickhull.convex_hull: empty";
+  if n = 1 then [| 0 |]
+  else begin
+    (* Extremes in x (ties by y) split the hull into upper and lower arcs. *)
+    let key i =
+      let p = pts.(i) in
+      (p.Point.x, p.Point.y, i)
+    in
+    let imin =
+      Pool.parallel_for_reduce ~start:1 ~finish:n ~body:Fun.id
+        ~combine:(fun i j -> if key i <= key j then i else j)
+        ~init:0 pool
+    in
+    let imax =
+      Pool.parallel_for_reduce ~start:1 ~finish:n ~body:Fun.id
+        ~combine:(fun i j -> if key i >= key j then i else j)
+        ~init:0 pool
+    in
+    if imin = imax then [| imin |]
+    else begin
+      let all = Rpb_core.Par_array.init pool n Fun.id in
+      let lo = pts.(imin) and hi = pts.(imax) in
+      let below = Rpb_parseq.Pack.pack pool (fun i -> side lo hi pts.(i) < 0.0) all in
+      let above = Rpb_parseq.Pack.pack pool (fun i -> side lo hi pts.(i) > 0.0) all in
+      let lower, upper =
+        Pool.join pool
+          (fun () -> arc pool pts below imax imin)
+          (fun () -> arc pool pts above imin imax)
+      in
+      (* [arc a b] lists its chain in a->b direction; the CCW polygon wants
+         the lower hull left-to-right and the upper hull right-to-left, so
+         both chains are reversed when spliced. *)
+      Array.of_list
+        ((imin :: List.rev lower) @ (imax :: List.rev upper))
+    end
+  end
+
+let convex_hull_seq pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Quickhull.convex_hull_seq: empty";
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun i j ->
+      compare (pts.(i).Point.x, pts.(i).Point.y, i) (pts.(j).Point.x, pts.(j).Point.y, j))
+    order;
+  let build step =
+    let stack = ref [] in
+    Array.iter
+      (fun i ->
+        let rec pop () =
+          match !stack with
+          | b :: a :: _ when side pts.(a) pts.(b) pts.(i) <= 0.0 ->
+            stack := List.tl !stack;
+            pop ()
+          | _ -> ()
+        in
+        pop ();
+        stack := i :: !stack)
+      step;
+    !stack
+  in
+  let lower = build order in
+  let upper = build (Array.of_list (List.rev (Array.to_list order))) in
+  (* Each chain ends with its endpoint duplicated in the other; drop one. *)
+  let lower = List.rev lower and upper = List.rev upper in
+  let chop = function [] -> [] | l -> List.filteri (fun i _ -> i < List.length l - 1) l in
+  Array.of_list (chop lower @ chop upper)
+
+let is_convex_hull pts hull =
+  let k = Array.length hull in
+  if k = 0 then false
+  else if k <= 2 then true
+  else begin
+    let ok = ref true in
+    (* CCW convex polygon. *)
+    for j = 0 to k - 1 do
+      let a = pts.(hull.(j)) in
+      let b = pts.(hull.((j + 1) mod k)) in
+      let c = pts.(hull.((j + 2) mod k)) in
+      if Point.orient2d a b c <= 0.0 then ok := false
+    done;
+    (* Contains every input point: for a CCW polygon the interior is to the
+       left of every edge, so a point strictly to the right of any edge is
+       outside. *)
+    Array.iter
+      (fun (p : Point.t) ->
+        for j = 0 to k - 1 do
+          let a = pts.(hull.(j)) and b = pts.(hull.((j + 1) mod k)) in
+          if side a b p < -1e-9 then ok := false
+        done)
+      pts;
+    !ok
+  end

@@ -1,0 +1,18 @@
+(** Parallel 2-D convex hull (quickhull) — a further PBBS benchmark built
+    from the suite's fearless patterns only: divide-and-conquer [join],
+    parallel max-reductions, and pack.  A useful counterpoint to the
+    irregular benchmarks: no indirect writes anywhere. *)
+
+open Rpb_pool
+
+val convex_hull : Pool.t -> Point.t array -> int array
+(** Indices of the hull vertices in counter-clockwise order, starting from
+    the leftmost point.  Points strictly inside edges are omitted; for
+    collinear configurations the extreme points are kept.  Requires at least
+    one point. *)
+
+val convex_hull_seq : Point.t array -> int array
+(** Andrew's monotone chain, the sequential reference. *)
+
+val is_convex_hull : Point.t array -> int array -> bool
+(** Oracle: the claimed hull is convex (CCW) and contains every point. *)

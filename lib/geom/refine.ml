@@ -1,0 +1,178 @@
+open Rpb_pool
+
+type mode = Sequential | Reserving
+
+type stats = {
+  rounds : int;
+  inserted : int;
+  skipped : int;
+  remaining_bad : int;
+  final_min_angle : float;
+  final_real_triangles : int;
+}
+
+(* Triangles smaller than this squared circumradius are left alone: a
+   termination guard against splitting ever-finer geometry. *)
+let min_split_radius2 = 1e-12
+
+let is_bad mesh ~min_angle i =
+  Mesh.is_real mesh i
+  && begin
+    let a, b, c = Mesh.tri_points mesh i in
+    Point.min_angle a b c < min_angle
+    && Point.circumradius2 a b c > min_split_radius2
+  end
+
+let count_bad pool mesh ~min_angle =
+  Pool.parallel_for_reduce ~start:0 ~finish:(Mesh.num_triangle_slots mesh)
+    ~body:(fun i -> if is_bad mesh ~min_angle i then 1 else 0)
+    ~combine:( + ) ~init:0 pool
+
+(* The prospective insertion for a skinny triangle: its circumcenter's
+   cavity, provided the center lands inside the real (non-scaffolding) part
+   of the mesh. *)
+let plan_insertion mesh i =
+  let a, b, c = Mesh.tri_points mesh i in
+  match Point.circumcenter a b c with
+  | None -> None
+  | Some center ->
+    (match Mesh.locate mesh center with
+     | exception Not_found -> None
+     | loc when not (Mesh.is_real mesh loc) -> None
+     | _ -> Mesh.cavity_of mesh center)
+
+let reserved_set (cavity : Mesh.cavity) =
+  let outside =
+    List.filter_map
+      (fun (_, _, nb) -> if nb >= 0 then Some nb else None)
+      cavity.Mesh.boundary
+  in
+  List.sort_uniq compare (cavity.Mesh.old_triangles @ outside)
+
+let finish pool mesh ~min_angle ~rounds ~inserted ~skipped =
+  {
+    rounds;
+    inserted;
+    skipped;
+    remaining_bad = count_bad pool mesh ~min_angle;
+    final_min_angle = Mesh.min_live_angle pool mesh;
+    final_real_triangles = Mesh.num_real_triangles pool mesh;
+  }
+
+let refine_sequential pool mesh ~min_angle ~max_rounds =
+  let inserted = ref 0 and skipped = ref 0 in
+  let give_up = Hashtbl.create 64 in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds do
+    incr rounds;
+    let bad =
+      Rpb_parseq.Pack.pack_index pool
+        (fun i -> is_bad mesh ~min_angle i && not (Hashtbl.mem give_up i))
+        (Mesh.num_triangle_slots mesh)
+    in
+    if Array.length bad = 0 then continue_ := false
+    else
+      Array.iter
+        (fun i ->
+          (* The triangle may have died earlier this round. *)
+          if is_bad mesh ~min_angle i && not (Hashtbl.mem give_up i) then begin
+            Mesh.ensure_capacity mesh ~vertices:1 ~triangles:64;
+            match plan_insertion mesh i with
+            | None ->
+              Hashtbl.replace give_up i ();
+              incr skipped
+            | Some cavity ->
+              let v = Mesh.add_point mesh cavity.Mesh.center in
+              ignore (Mesh.apply_insert mesh ~vertex:v cavity);
+              incr inserted
+          end)
+        bad
+  done;
+  finish pool mesh ~min_angle ~rounds:!rounds ~inserted:!inserted ~skipped:!skipped
+
+let refine_reserving pool mesh ~min_angle ~max_rounds =
+  let inserted = ref 0 and skipped = ref 0 in
+  let give_up = Hashtbl.create 64 in
+  let give_up_mutex = Mutex.create () in
+  let mark_given_up i =
+    Mutex.lock give_up_mutex;
+    Hashtbl.replace give_up i ();
+    Mutex.unlock give_up_mutex
+  in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds do
+    incr rounds;
+    let nt = Mesh.num_triangle_slots mesh in
+    let bad =
+      Rpb_parseq.Pack.pack_index pool
+        (fun i -> is_bad mesh ~min_angle i && not (Hashtbl.mem give_up i))
+        nt
+    in
+    let nbad = Array.length bad in
+    if nbad = 0 then continue_ := false
+    else begin
+      (* Phase A (read-only, parallel): plan every insertion. *)
+      let plans = Array.make nbad None in
+      Pool.parallel_for ~start:0 ~finish:nbad
+        ~body:(fun j ->
+          match plan_insertion mesh bad.(j) with
+          | None -> mark_given_up bad.(j)
+          | Some cavity -> plans.(j) <- Some (cavity, reserved_set cavity))
+        pool;
+      (* Phase B (parallel): priority-write reservations — the AW pattern. *)
+      let owner = Rpb_prim.Atomic_array.make nt max_int in
+      Pool.parallel_for ~start:0 ~finish:nbad
+        ~body:(fun j ->
+          match plans.(j) with
+          | None -> ()
+          | Some (_, reserved) ->
+            List.iter
+              (fun ti -> ignore (Rpb_prim.Atomic_array.fetch_min owner ti j))
+              reserved)
+        pool;
+      let winners =
+        Rpb_parseq.Pack.pack_index pool
+          (fun j ->
+            match plans.(j) with
+            | None -> false
+            | Some (_, reserved) ->
+              List.for_all (fun ti -> Rpb_prim.Atomic_array.get owner ti = j) reserved)
+          nbad
+      in
+      (* Phase C: capacity (single-threaded), then disjoint parallel inserts. *)
+      let new_triangles =
+        Array.fold_left
+          (fun acc j ->
+            match plans.(j) with
+            | Some (cavity, _) -> acc + List.length cavity.Mesh.boundary
+            | None -> acc)
+          0 winners
+      in
+      Mesh.ensure_capacity mesh ~vertices:(Array.length winners)
+        ~triangles:new_triangles;
+      Pool.parallel_for ~grain:1 ~start:0 ~finish:(Array.length winners)
+        ~body:(fun w ->
+          let j = winners.(w) in
+          match plans.(j) with
+          | None -> assert false
+          | Some (cavity, _) ->
+            let v = Mesh.add_point mesh cavity.Mesh.center in
+            ignore (Mesh.apply_insert mesh ~vertex:v cavity))
+        pool;
+      inserted := !inserted + Array.length winners;
+      (* If contention produced no winner (can only happen with at least one
+         plan and cyclic conflicts, which priority-writes preclude), we would
+         still make progress next round via re-planning; guard anyway. *)
+      if Array.length winners = 0 && Hashtbl.length give_up = 0 then
+        continue_ := false
+    end
+  done;
+  skipped := Hashtbl.length give_up;
+  finish pool mesh ~min_angle ~rounds:!rounds ~inserted:!inserted ~skipped:!skipped
+
+let refine ?(min_angle = 26.0) ?(max_rounds = 64) ?(mode = Reserving) pool mesh =
+  match mode with
+  | Sequential -> refine_sequential pool mesh ~min_angle ~max_rounds
+  | Reserving -> refine_reserving pool mesh ~min_angle ~max_rounds

@@ -1,0 +1,38 @@
+(** Delaunay refinement — the paper's [dr] benchmark.
+
+    Splits skinny triangles (smallest angle below a threshold) by inserting
+    their circumcenters, in rounds, until the mesh is clean or a round cap is
+    reached.
+
+    Two execution modes reproduce the paper's fear spectrum for this
+    arbitrary-read-write workload:
+
+    - [Sequential]: one insertion at a time (the baseline);
+    - [Reserving]: every round, all skinny triangles compute their insertion
+      cavities in parallel (read-only), then race to reserve the triangles
+      they would mutate via atomic priority-writes; winners with fully-owned
+      cavities insert in parallel, losers retry next round — the
+      deterministic-reservations AW pattern of PBBS. *)
+
+open Rpb_pool
+
+type mode = Sequential | Reserving
+
+type stats = {
+  rounds : int;
+  inserted : int;       (** circumcenters successfully inserted *)
+  skipped : int;        (** skinny triangles given up on (outside domain) *)
+  remaining_bad : int;  (** skinny triangles left when refinement stopped *)
+  final_min_angle : float;
+  final_real_triangles : int;
+}
+
+val is_bad : Mesh.t -> min_angle:float -> int -> bool
+(** Real, skinny, and large enough to be worth splitting. *)
+
+val count_bad : Pool.t -> Mesh.t -> min_angle:float -> int
+
+val refine :
+  ?min_angle:float -> ?max_rounds:int -> ?mode:mode ->
+  Pool.t -> Mesh.t -> stats
+(** Default [min_angle] 26 degrees, [max_rounds] 64, [mode] Reserving. *)

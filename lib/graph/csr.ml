@@ -1,0 +1,114 @@
+type t = {
+  n : int;
+  m : int;
+  offsets : int array;
+  targets : int array;
+  weights : int array option;
+}
+
+let make ~offsets ~targets ?weights () =
+  let n = Array.length offsets - 1 in
+  if n < 0 then invalid_arg "Csr.make: offsets must have length >= 1";
+  let m = Array.length targets in
+  if offsets.(0) <> 0 || offsets.(n) <> m then
+    invalid_arg "Csr.make: offsets must start at 0 and end at m";
+  if not (Rpb_prim.Util.is_sorted offsets) then
+    invalid_arg "Csr.make: offsets must be non-decreasing";
+  Array.iter
+    (fun v -> if v < 0 || v >= n then invalid_arg "Csr.make: target out of range")
+    targets;
+  (match weights with
+   | Some w ->
+     if Array.length w <> m then invalid_arg "Csr.make: weights length mismatch";
+     Array.iter (fun x -> if x < 0 then invalid_arg "Csr.make: negative weight") w
+   | None -> ());
+  { n; m; offsets; targets; weights }
+
+let n g = g.n
+let m g = g.m
+let degree g u = g.offsets.(u + 1) - g.offsets.(u)
+
+let iter_neighbors g u f =
+  for e = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+    f (Array.unsafe_get g.targets e)
+  done
+
+let edge_weight g e = match g.weights with Some w -> w.(e) | None -> 1
+
+let iter_neighbors_w g u f =
+  match g.weights with
+  | None -> iter_neighbors g u (fun v -> f v 1)
+  | Some w ->
+    for e = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      f (Array.unsafe_get g.targets e) (Array.unsafe_get w e)
+    done
+
+let fold_neighbors g u ~init ~f =
+  let acc = ref init in
+  iter_neighbors g u (fun v -> acc := f !acc v);
+  !acc
+
+let edges g =
+  let out = Array.make g.m (0, 0) in
+  for u = 0 to g.n - 1 do
+    for e = g.offsets.(u) to g.offsets.(u + 1) - 1 do
+      out.(e) <- (u, g.targets.(e))
+    done
+  done;
+  out
+
+let of_edges pool ~n ?weights edge_list =
+  let m = Array.length edge_list in
+  (match weights with
+   | Some w when Array.length w <> m ->
+     invalid_arg "Csr.of_edges: weights length mismatch"
+   | _ -> ());
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Csr.of_edges: endpoint out of range")
+    edge_list;
+  (* Stable rank by source vertex keeps each adjacency list in input order
+     and lets weights ride along through the same permutation. *)
+  let srcs = Rpb_core.Par_array.init pool m (fun i -> fst edge_list.(i)) in
+  let dest = Rpb_parseq.Radix.rank_by_key pool ~keys:srcs ~buckets:n in
+  let targets = Array.make m 0 in
+  Rpb_pool.Pool.parallel_for ~start:0 ~finish:m
+    ~body:(fun i -> targets.(dest.(i)) <- snd edge_list.(i))
+    pool;
+  let weights =
+    Option.map
+      (fun w ->
+        let out = Array.make m 0 in
+        Rpb_pool.Pool.parallel_for ~start:0 ~finish:m
+          ~body:(fun i -> out.(dest.(i)) <- w.(i))
+          pool;
+        out)
+      weights
+  in
+  let counts = Rpb_parseq.Histogram.histogram pool ~keys:srcs ~buckets:n in
+  let offsets = Array.make (n + 1) 0 in
+  let starts, total = Rpb_parseq.Scan.exclusive_int pool counts in
+  Array.blit starts 0 offsets 0 n;
+  offsets.(n) <- total;
+  { n; m; offsets; targets; weights }
+
+let symmetrize pool g =
+  let fwd = edges g in
+  let bwd = Rpb_core.Par_array.map pool (fun (u, v) -> (v, u)) fwd in
+  let both = Array.append fwd bwd in
+  let weights =
+    Option.map
+      (fun w ->
+        (* Reverse edges carry the same weight, in the same edge order. *)
+        Array.append w w)
+      g.weights
+  in
+  of_edges pool ~n:g.n ?weights both
+
+let max_degree pool g =
+  Rpb_pool.Pool.parallel_for_reduce ~start:0 ~finish:g.n
+    ~body:(fun u -> degree g u)
+    ~combine:max ~init:0 pool
+
+let avg_degree g = if g.n = 0 then 0.0 else float_of_int g.m /. float_of_int g.n

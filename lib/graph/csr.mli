@@ -1,0 +1,50 @@
+(** Compressed-sparse-row graphs — the PBBS graph substrate (paper Table 2).
+
+    Vertices are [0 .. n-1].  Edge targets of vertex [u] occupy
+    [targets.(offsets.(u)) .. targets.(offsets.(u+1) - 1)]; [weights], when
+    present, is parallel to [targets]. *)
+
+type t = private {
+  n : int;                    (** number of vertices *)
+  m : int;                    (** number of directed edges *)
+  offsets : int array;        (** length [n + 1]; [offsets.(n) = m] *)
+  targets : int array;        (** length [m] *)
+  weights : int array option; (** length [m] when present; weights >= 0 *)
+}
+
+val make : offsets:int array -> targets:int array -> ?weights:int array -> unit -> t
+(** Validates the CSR invariants (monotone offsets, in-range targets,
+    matching weight length) and packs the record.  Raises
+    [Invalid_argument] on violation. *)
+
+val n : t -> int
+val m : t -> int
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+val iter_neighbors_w : t -> int -> (int -> int -> unit) -> unit
+(** [iter_neighbors_w g u f] calls [f v w] for each edge [(u, v)] of weight
+    [w] (weight 1 for unweighted graphs). *)
+
+val fold_neighbors : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val edge_weight : t -> int -> int
+(** Weight of the edge at CSR position [e] (1 if unweighted). *)
+
+val edges : t -> (int * int) array
+(** All directed edges as (src, dst) pairs, CSR order. *)
+
+val of_edges :
+  Rpb_pool.Pool.t -> n:int -> ?weights:int array -> (int * int) array -> t
+(** Build a CSR from a directed edge list (parallel stable sort by source).
+    [weights], if given, is parallel to the edge array. *)
+
+val symmetrize : Rpb_pool.Pool.t -> t -> t
+(** Adds every reverse edge (duplicates are kept, PBBS-style); weights follow
+    their edges. *)
+
+val max_degree : Rpb_pool.Pool.t -> t -> int
+
+val avg_degree : t -> float

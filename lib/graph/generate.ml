@@ -1,0 +1,89 @@
+let weight_of_edge ~seed i = 1 + (Rpb_prim.Rng.hash64 ((seed * 0x9E37) + i) mod 100)
+
+(* One R-MAT edge: descend [scale] levels of the recursive adjacency-matrix
+   quadrants.  All randomness comes from hashing (edge index, level), so edge
+   [i] is a pure function of the parameters — embarrassingly parallel. *)
+let rmat_edge ~scale ~seed ~a ~b ~c i =
+  let u = ref 0 and v = ref 0 in
+  for level = 0 to scale - 1 do
+    let h = Rpb_prim.Rng.hash64 ((((seed * 31) + i) * 67) + level) in
+    let r = float_of_int (h mod 1_000_000) /. 1_000_000.0 in
+    let bit = 1 lsl (scale - 1 - level) in
+    if r < a then ()
+    else if r < a +. b then v := !v lor bit
+    else if r < a +. b +. c then u := !u lor bit
+    else begin
+      u := !u lor bit;
+      v := !v lor bit
+    end
+  done;
+  (!u, !v)
+
+let rmat_family pool ~scale ~edge_factor ~seed ~weighted ~a ~b ~c =
+  if scale < 1 || scale > 30 then invalid_arg "Generate: scale out of range";
+  let n = 1 lsl scale in
+  let m = edge_factor * n in
+  let edge_list =
+    Rpb_core.Par_array.init pool m (fun i -> rmat_edge ~scale ~seed ~a ~b ~c i)
+  in
+  let weights =
+    if weighted then Some (Rpb_core.Par_array.init pool m (weight_of_edge ~seed))
+    else None
+  in
+  Csr.of_edges pool ~n ?weights edge_list
+
+let rmat pool ~scale ~edge_factor ?(seed = 2) ?(weighted = false) () =
+  rmat_family pool ~scale ~edge_factor ~seed ~weighted ~a:0.5 ~b:0.1 ~c:0.1
+
+let power_law pool ~scale ~edge_factor ?(seed = 3) ?(weighted = false) () =
+  rmat_family pool ~scale ~edge_factor ~seed ~weighted ~a:0.65 ~b:0.15 ~c:0.15
+
+let road_grid pool ~rows ~cols ?(seed = 4) ?(weighted = false) () =
+  if rows < 1 || cols < 1 then invalid_arg "Generate.road_grid: empty grid";
+  let n = rows * cols in
+  (* Right and down edges, then symmetrized: degree <= 4, diameter
+     rows + cols — the road-network regime. *)
+  let horiz = (cols - 1) * rows and vert = (rows - 1) * cols in
+  let m = horiz + vert in
+  let edge_of i =
+    if i < horiz then begin
+      let r = i / (cols - 1) and c = i mod (cols - 1) in
+      ((r * cols) + c, (r * cols) + c + 1)
+    end
+    else begin
+      let j = i - horiz in
+      let r = j / cols and c = j mod cols in
+      ((r * cols) + c, ((r + 1) * cols) + c)
+    end
+  in
+  let edge_list = Rpb_core.Par_array.init pool m edge_of in
+  let weights =
+    if weighted then Some (Rpb_core.Par_array.init pool m (weight_of_edge ~seed))
+    else None
+  in
+  let g = Csr.of_edges pool ~n ?weights edge_list in
+  Csr.symmetrize pool g
+
+let random_uniform pool ~n ~m ?(seed = 5) ?(weighted = false) () =
+  if n < 1 then invalid_arg "Generate.random_uniform: n must be positive";
+  let edge_of i =
+    let h1 = Rpb_prim.Rng.hash64 ((seed * 131) + (2 * i)) in
+    let h2 = Rpb_prim.Rng.hash64 ((seed * 131) + (2 * i) + 1) in
+    (h1 mod n, h2 mod n)
+  in
+  let edge_list = Rpb_core.Par_array.init pool m edge_of in
+  let weights =
+    if weighted then Some (Rpb_core.Par_array.init pool m (weight_of_edge ~seed))
+    else None
+  in
+  Csr.of_edges pool ~n ?weights edge_list
+
+let by_name pool ~name ~scale ~weighted =
+  match name with
+  | "rmat" -> rmat pool ~scale ~edge_factor:6 ~weighted ()
+  | "link" -> power_law pool ~scale ~edge_factor:20 ~weighted ()
+  | "road" ->
+    (* A square grid with about 2^scale vertices. *)
+    let side = max 2 (int_of_float (sqrt (float_of_int (1 lsl scale)))) in
+    road_grid pool ~rows:side ~cols:side ~weighted ()
+  | _ -> invalid_arg ("Generate.by_name: unknown input " ^ name)

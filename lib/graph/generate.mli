@@ -1,0 +1,43 @@
+(** Deterministic graph generators standing in for the paper's inputs
+    (Table 2).
+
+    The paper uses Hyperlink2012-hosts ("link", |E|/|V| = 20.1, power-law,
+    low diameter), an R-MAT graph ("rmat", |E|/|V| = 6.0) and the full USA
+    road network ("road", |E|/|V| = 2.4, high diameter, bounded degree).
+    These generators reproduce those regimes at container scale:
+
+    - {!rmat}: Chakrabarti et al.'s recursive matrix model with PBBS's skew;
+    - {!road_grid}: a 2-D lattice with random weights — same high-diameter,
+      degree-<=4 regime as a road network;
+    - {!power_law}: R-MAT with a stronger corner bias and more edges per
+      vertex, matching the hyperlink graph's skew and density.
+
+    Every generator is a pure function of its parameters and seed. *)
+
+open Rpb_pool
+
+val rmat :
+  Pool.t -> scale:int -> edge_factor:int -> ?seed:int -> ?weighted:bool ->
+  unit -> Csr.t
+(** [2^scale] vertices, [edge_factor * 2^scale] directed edges drawn with
+    (a, b, c, d) = (0.5, 0.1, 0.1, 0.3).  Weights, when requested, are
+    uniform in [\[1, 100\]]. *)
+
+val power_law :
+  Pool.t -> scale:int -> edge_factor:int -> ?seed:int -> ?weighted:bool ->
+  unit -> Csr.t
+(** R-MAT with (0.65, 0.15, 0.15, 0.05): heavier skew, the "link" regime. *)
+
+val road_grid :
+  Pool.t -> rows:int -> cols:int -> ?seed:int -> ?weighted:bool -> unit -> Csr.t
+(** A [rows x cols] 4-neighbour lattice (symmetric).  Weights uniform in
+    [\[1, 100\]]. *)
+
+val random_uniform :
+  Pool.t -> n:int -> m:int -> ?seed:int -> ?weighted:bool -> unit -> Csr.t
+(** Erdos-Renyi style: [m] directed edges with uniform endpoints. *)
+
+val by_name :
+  Pool.t -> name:string -> scale:int -> weighted:bool -> Csr.t
+(** The harness's input table: ["link"], ["rmat"], ["road"] (scaled by
+    [scale]).  Raises [Invalid_argument] for unknown names. *)

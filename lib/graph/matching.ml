@@ -1,0 +1,61 @@
+open Rpb_pool
+
+let compute ?(seed = 11) pool ~edges ~n =
+  let m = Array.length edges in
+  let prio = Rpb_prim.Rng.permutation (Rpb_prim.Rng.create seed) m in
+  let matched_vertex = Array.make n false in
+  let selected = Array.make m false in
+  let live = ref (Rpb_parseq.Pack.pack_index pool (fun e -> fst edges.(e) <> snd edges.(e)) m) in
+  let guard = ref 0 in
+  while Array.length !live > 0 do
+    incr guard;
+    if !guard > m + 64 then failwith "Matching: no progress";
+    let frontier = !live in
+    (* Reservation: each live edge bids its priority on both endpoints. *)
+    let bid = Rpb_prim.Atomic_array.make n max_int in
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let e = frontier.(j) in
+        let u, v = edges.(e) in
+        ignore (Rpb_prim.Atomic_array.fetch_min bid u prio.(e));
+        ignore (Rpb_prim.Atomic_array.fetch_min bid v prio.(e)))
+      pool;
+    (* Winners own both endpoints; commit them. *)
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let e = frontier.(j) in
+        let u, v = edges.(e) in
+        if Rpb_prim.Atomic_array.get bid u = prio.(e)
+           && Rpb_prim.Atomic_array.get bid v = prio.(e)
+        then begin
+          selected.(e) <- true;
+          matched_vertex.(u) <- true;
+          matched_vertex.(v) <- true
+        end)
+      pool;
+    live :=
+      Rpb_parseq.Pack.pack pool
+        (fun e ->
+          let u, v = edges.(e) in
+          (not matched_vertex.(u)) && not matched_vertex.(v))
+        frontier
+  done;
+  selected
+
+let compute_seq ?(seed = 11) ~n edges =
+  let m = Array.length edges in
+  let prio = Rpb_prim.Rng.permutation (Rpb_prim.Rng.create seed) m in
+  let order = Array.init m Fun.id in
+  Array.sort (fun a b -> compare prio.(a) prio.(b)) order;
+  let matched_vertex = Array.make n false in
+  let selected = Array.make m false in
+  Array.iter
+    (fun e ->
+      let u, v = edges.(e) in
+      if u <> v && (not matched_vertex.(u)) && not matched_vertex.(v) then begin
+        selected.(e) <- true;
+        matched_vertex.(u) <- true;
+        matched_vertex.(v) <- true
+      end)
+    order;
+  selected

@@ -1,0 +1,16 @@
+(** Maximal matching by edge-priority reservations — the paper's [mm]
+    benchmark.
+
+    Each round, every live edge writes its random priority into both
+    endpoints with an atomic priority-write (fetch-min); edges that won both
+    endpoints join the matching and knock out their incident edges.  The
+    endpoint cells are the AW pattern: many edges contend on one vertex. *)
+
+open Rpb_pool
+
+val compute : ?seed:int -> Pool.t -> edges:(int * int) array -> n:int -> bool array
+(** Selection mask over [edges].  Self-loops are never selected.
+    Deterministic for a fixed seed. *)
+
+val compute_seq : ?seed:int -> n:int -> (int * int) array -> bool array
+(** Sequential greedy over the same edge priorities (same matching). *)

@@ -1,0 +1,77 @@
+open Rpb_pool
+
+type sync = Atomic_status | Plain_status
+
+let unknown = 0
+let in_set = 1
+let out = 2
+
+(* The round structure (compute on a frontier of undecided vertices until
+   none remain) is shared; [get]/[set] abstract the status storage so the
+   atomic and plain-array builds share the algorithm. *)
+let rounds pool n ~prio ~neighbors ~get ~set =
+  let undecided = ref (Rpb_core.Par_array.init pool n Fun.id) in
+  let guard = ref 0 in
+  while Array.length !undecided > 0 do
+    incr guard;
+    if !guard > n + 64 then failwith "Mis: no progress";
+    let frontier = !undecided in
+    (* A vertex enters when it is a local priority minimum among its
+       not-yet-out neighbours. *)
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let u = frontier.(j) in
+        if get u = unknown then begin
+          let wins = ref true in
+          neighbors u (fun v ->
+              if v <> u && get v <> out && prio.(v) < prio.(u) then wins := false);
+          if !wins then set u in_set
+        end)
+      pool;
+    (* Neighbours of new members leave.  Separate phase so that the win
+       check above never observes a half-applied round. *)
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let u = frontier.(j) in
+        if get u = in_set then
+          neighbors u (fun v -> if v <> u && get v <> in_set then set v out))
+      pool;
+    undecided := Rpb_parseq.Pack.pack pool (fun u -> get u = unknown) frontier
+  done
+
+let compute ?(sync = Atomic_status) ?(seed = 9) pool g =
+  let n = Csr.n g in
+  let prio = Rpb_prim.Rng.permutation (Rpb_prim.Rng.create seed) n in
+  let neighbors u f = Csr.iter_neighbors g u f in
+  (match sync with
+   | Atomic_status ->
+     let status = Rpb_prim.Atomic_array.make n unknown in
+     rounds pool n ~prio ~neighbors
+       ~get:(Rpb_prim.Atomic_array.get status)
+       ~set:(Rpb_prim.Atomic_array.set status);
+     Rpb_core.Par_array.init pool n (fun u -> Rpb_prim.Atomic_array.get status u = in_set)
+   | Plain_status ->
+     (* All concurrent writers of a cell write the same value in a phase, so
+        the race is "benign" — the unsafe-Rust analogue. *)
+     let status = Array.make n unknown in
+     rounds pool n ~prio ~neighbors
+       ~get:(fun u -> Array.unsafe_get status u)
+       ~set:(fun u v -> Array.unsafe_set status u v);
+     Rpb_core.Par_array.init pool n (fun u -> status.(u) = in_set))
+
+let compute_seq ?(seed = 9) g =
+  let n = Csr.n g in
+  let prio = Rpb_prim.Rng.permutation (Rpb_prim.Rng.create seed) n in
+  (* Greedy in increasing priority order gives the same "lexicographically
+     first by priority" MIS the round algorithm converges to. *)
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare prio.(a) prio.(b)) order;
+  let status = Array.make n unknown in
+  Array.iter
+    (fun u ->
+      if status.(u) = unknown then begin
+        status.(u) <- in_set;
+        Csr.iter_neighbors g u (fun v -> if v <> u then status.(v) <- out)
+      end)
+    order;
+  Array.map (fun s -> s = in_set) status

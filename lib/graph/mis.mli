@@ -1,0 +1,24 @@
+(** Maximal independent set by random-priority rounds (Blelloch et al.'s
+    deterministic-reservations style) — the paper's [mis] benchmark.
+
+    Every vertex draws a random priority.  In each round an undecided vertex
+    joins the set if every undecided-or-in neighbour has a larger priority;
+    vertices adjacent to a new member drop out.  Writes to the shared status
+    array are the AW pattern: conflicting, arbitrated by atomics (or raced
+    through plain stores in the scary build). *)
+
+open Rpb_pool
+
+type sync = Atomic_status | Plain_status
+(** [Atomic_status] uses CAS-backed status cells (the synchronized build);
+    [Plain_status] writes a plain int array — the "benign race" variant the
+    paper warns about in Sec. 5.2 (the algorithm tolerates it because all
+    racers write the same value, but no language-level guarantee exists). *)
+
+val compute : ?sync:sync -> ?seed:int -> Pool.t -> Csr.t -> bool array
+(** [compute pool g] returns the selection mask.  The graph should be
+    symmetric.  Deterministic for a fixed seed regardless of sync mode. *)
+
+val compute_seq : ?seed:int -> Csr.t -> bool array
+(** Sequential greedy over the same priorities (the baseline; produces the
+    same set). *)

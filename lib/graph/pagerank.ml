@@ -1,0 +1,108 @@
+open Rpb_pool
+
+type method_ = Push_mutex | Push_float_racy | Pull
+
+let default_iterations = 20
+let default_damping = 0.85
+
+let base_rank damping n = (1.0 -. damping) /. float_of_int n
+
+let compute_seq ?(iterations = default_iterations) ?(damping = default_damping) g =
+  let n = Csr.n g in
+  let rank = Array.make n (1.0 /. float_of_int n) in
+  let next = Array.make n 0.0 in
+  for _ = 1 to iterations do
+    Array.fill next 0 n (base_rank damping n);
+    for u = 0 to n - 1 do
+      let d = Csr.degree g u in
+      if d > 0 then begin
+        let share = damping *. rank.(u) /. float_of_int d in
+        Csr.iter_neighbors g u (fun v -> next.(v) <- next.(v) +. share)
+      end
+      else
+        (* Dangling mass is spread uniformly. *)
+        let share = damping *. rank.(u) /. float_of_int n in
+        for v = 0 to n - 1 do
+          next.(v) <- next.(v) +. share
+        done
+    done;
+    Array.blit next 0 rank 0 n
+  done;
+  rank
+
+(* In-neighbour lists = the transposed CSR; built once per compute call. *)
+let transpose pool g =
+  let edges = Csr.edges g in
+  let flipped = Rpb_core.Par_array.map pool (fun (u, v) -> (v, u)) edges in
+  Csr.of_edges pool ~n:(Csr.n g) flipped
+
+let compute ?(method_ = Pull) ?(iterations = default_iterations)
+    ?(damping = default_damping) pool g =
+  let n = Csr.n g in
+  let rank = ref (Array.make n (1.0 /. float_of_int n)) in
+  let dangling_share r =
+    (* Sum of damping * rank(u)/n over zero-degree vertices. *)
+    Pool.parallel_for_reduce ~start:0 ~finish:n
+      ~body:(fun u -> if Csr.degree g u = 0 then r.(u) else 0.0)
+      ~combine:( +. ) ~init:0.0 pool
+    *. damping /. float_of_int n
+  in
+  (match method_ with
+   | Pull ->
+     let gt = transpose pool g in
+     for _ = 1 to iterations do
+       let r = !rank in
+       let dangle = dangling_share r in
+       let next =
+         Rpb_core.Par_array.init pool n (fun v ->
+             let acc = ref (base_rank damping n +. dangle) in
+             Csr.iter_neighbors gt v (fun u ->
+                 acc := !acc +. (damping *. r.(u) /. float_of_int (Csr.degree g u)));
+             !acc)
+       in
+       rank := next
+     done
+   | Push_mutex ->
+     let stripes = 256 in
+     let locks = Array.init stripes (fun _ -> Mutex.create ()) in
+     for _ = 1 to iterations do
+       let r = !rank in
+       let dangle = dangling_share r in
+       let next = Array.make n (base_rank damping n +. dangle) in
+       Pool.parallel_for ~start:0 ~finish:n
+         ~body:(fun u ->
+           let d = Csr.degree g u in
+           if d > 0 then begin
+             let share = damping *. r.(u) /. float_of_int d in
+             Csr.iter_neighbors g u (fun v ->
+                 let m = locks.(v land (stripes - 1)) in
+                 Mutex.lock m;
+                 next.(v) <- next.(v) +. share;
+                 Mutex.unlock m)
+           end)
+         pool;
+       rank := next
+     done
+   | Push_float_racy ->
+     (* Unsynchronized read-modify-writes: updates racing on a vertex can be
+        lost.  This is the build a Rust borrow checker rejects outright. *)
+     for _ = 1 to iterations do
+       let r = !rank in
+       let dangle = dangling_share r in
+       let next = Array.make n (base_rank damping n +. dangle) in
+       Pool.parallel_for ~start:0 ~finish:n
+         ~body:(fun u ->
+           let d = Csr.degree g u in
+           if d > 0 then begin
+             let share = damping *. r.(u) /. float_of_int d in
+             Csr.iter_neighbors g u (fun v -> next.(v) <- next.(v) +. share)
+           end)
+         pool;
+       rank := next
+     done);
+  !rank
+
+let max_abs_diff a b =
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.(i)))) a;
+  !d

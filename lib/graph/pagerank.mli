@@ -1,0 +1,29 @@
+(** Push-based PageRank — the Sec. 5.2 example of "overlapping conflicting
+    accesses ... common in graph algorithms like push-based PageRank".
+
+    Each iteration, every vertex pushes [damping * rank / degree] to each
+    out-neighbour.  Neighbour accumulators are shared and conflicting; the
+    implementations span the fear spectrum:
+
+    - [Push_mutex]: striped locks around the accumulators;
+    - [Push_float_racy]: plain float adds — genuinely WRONG under
+      parallelism (lost updates), provided as the "scared" build that the
+      verifier exposes; kept at 1 worker it is exact;
+    - [Pull]: the regular rewrite — every vertex gathers from in-neighbours,
+      giving task-private writes (Stride) at the cost of transposing the
+      graph. *)
+
+open Rpb_pool
+
+type method_ = Push_mutex | Push_float_racy | Pull
+
+val compute :
+  ?method_:method_ -> ?iterations:int -> ?damping:float ->
+  Pool.t -> Csr.t -> float array
+(** Rank vector summing to ~1.  Default: [Pull], 20 iterations, damping
+    0.85. *)
+
+val compute_seq : ?iterations:int -> ?damping:float -> Csr.t -> float array
+(** Sequential push-based reference. *)
+
+val max_abs_diff : float array -> float array -> float

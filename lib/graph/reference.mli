@@ -1,0 +1,30 @@
+(** Sequential reference algorithms used to verify the parallel benchmarks
+    (the oracle role PBBS's checkers play). *)
+
+val bfs_distances : Csr.t -> src:int -> int array
+(** Unweighted hop distances from [src]; [max_int] for unreachable. *)
+
+val dijkstra : Csr.t -> src:int -> int array
+(** Weighted shortest-path distances from [src]; [max_int] for
+    unreachable. *)
+
+val connected_components : Csr.t -> int array
+(** Treating edges as undirected: canonical (minimum-index) component label
+    per vertex. *)
+
+val num_components : Csr.t -> int
+
+val is_independent_set : Csr.t -> bool array -> bool
+(** No two selected vertices adjacent. *)
+
+val is_maximal_independent_set : Csr.t -> bool array -> bool
+(** Independent, and every unselected vertex has a selected neighbour. *)
+
+val is_matching : Csr.t -> edges:(int * int) array -> selected:bool array -> bool
+(** Selected edges pairwise share no endpoint. *)
+
+val is_maximal_matching : Csr.t -> edges:(int * int) array -> selected:bool array -> bool
+
+val spanning_forest_weight : Csr.t -> int
+(** Total weight of a minimum spanning forest (sequential Kruskal), for
+    verifying msf. *)

@@ -1,0 +1,92 @@
+open Rpb_pool
+
+let spanning_forest pool g =
+  let edges = Csr.edges g in
+  let uf = Union_find.create (Csr.n g) in
+  let in_forest = Array.make (Array.length edges) false in
+  (* Races between edges joining the same pair of components are decided by
+     the CAS inside [union]: exactly one edge per merge wins. *)
+  Pool.parallel_for ~start:0 ~finish:(Array.length edges)
+    ~body:(fun e ->
+      let u, v = edges.(e) in
+      if u <> v && Union_find.union uf u v then in_forest.(e) <- true)
+    pool;
+  Rpb_parseq.Pack.pack_index pool (fun e -> in_forest.(e)) (Array.length edges)
+
+let spanning_forest_seq g =
+  let edges = Csr.edges g in
+  let parent = Array.init (Csr.n g) Fun.id in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- parent.(parent.(i));
+      find parent.(i)
+    end
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun e (u, v) ->
+      let ru = find u and rv = find v in
+      if ru <> rv then begin
+        parent.(max ru rv) <- min ru rv;
+        out := e :: !out
+      end)
+    edges;
+  Array.of_list (List.rev !out)
+
+(* Boruvka.  Priorities pack (weight, edge index) into one int so a single
+   fetch-min elects the lightest (tie: lowest-index) edge per component. *)
+let minimum_spanning_forest pool g =
+  let edges = Csr.edges g in
+  let m = Array.length edges in
+  let n = Csr.n g in
+  let shift = 1 + Rpb_prim.Util.ilog2 (max 1 m) in
+  let pack e = (Csr.edge_weight g e lsl shift) lor e in
+  let unpack_edge p = p land ((1 lsl shift) - 1) in
+  let uf = Union_find.create n in
+  let in_forest = Array.make m false in
+  let live = ref (Rpb_parseq.Pack.pack_index pool (fun e -> fst edges.(e) <> snd edges.(e)) m) in
+  let progress = ref true in
+  while !progress && Array.length !live > 0 do
+    (* Drop intra-component edges; stop if nothing can merge. *)
+    let frontier =
+      Rpb_parseq.Pack.pack pool
+        (fun e ->
+          let u, v = edges.(e) in
+          not (Union_find.same uf u v))
+        !live
+    in
+    live := frontier;
+    if Array.length frontier = 0 then progress := false
+    else begin
+      let best = Rpb_prim.Atomic_array.make n max_int in
+      (* Each edge bids on both endpoint components (AW fetch-min). *)
+      Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+        ~body:(fun j ->
+          let e = frontier.(j) in
+          let u, v = edges.(e) in
+          let ru = Union_find.find uf u and rv = Union_find.find uf v in
+          if ru <> rv then begin
+            ignore (Rpb_prim.Atomic_array.fetch_min best ru (pack e));
+            ignore (Rpb_prim.Atomic_array.fetch_min best rv (pack e))
+          end)
+        pool;
+      (* Elected edges merge their components. *)
+      let merged = Atomic.make 0 in
+      Pool.parallel_for ~start:0 ~finish:n
+        ~body:(fun r ->
+          let b = Rpb_prim.Atomic_array.get best r in
+          if b <> max_int then begin
+            let e = unpack_edge b in
+            let u, v = edges.(e) in
+            if Union_find.union uf u v then begin
+              in_forest.(e) <- true;
+              Atomic.incr merged
+            end
+          end)
+        pool;
+      if Atomic.get merged = 0 then progress := false
+    end
+  done;
+  Rpb_parseq.Pack.pack_index pool (fun e -> in_forest.(e)) m
+
+let forest_weight g forest =
+  Array.fold_left (fun acc e -> acc + Csr.edge_weight g e) 0 forest

@@ -1,0 +1,24 @@
+(** Spanning forest (sf) and minimum spanning forest (msf).
+
+    [sf] races every edge through a lock-free union-find: each successful
+    union contributes a forest edge (AW through the parent array, arbitrated
+    by CAS).
+
+    [msf] is Boruvka: every round each component elects its lightest incident
+    edge with an atomic priority-write, elected edges union components, and
+    the process repeats — dynamic rounds over unstructured data. *)
+
+open Rpb_pool
+
+val spanning_forest : Pool.t -> Csr.t -> int array
+(** Indices (into [Csr.edges g]) of a spanning forest of the undirected
+    interpretation of [g].  Exactly [n - #components] edges. *)
+
+val spanning_forest_seq : Csr.t -> int array
+
+val minimum_spanning_forest : Pool.t -> Csr.t -> int array
+(** Edge indices of a minimum-weight spanning forest.  Ties are broken by
+    edge index, making the result deterministic. *)
+
+val forest_weight : Csr.t -> int array -> int
+(** Total weight of the chosen edges. *)

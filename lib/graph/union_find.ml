@@ -1,0 +1,42 @@
+type t = Rpb_prim.Atomic_array.t
+
+let create n = Rpb_prim.Atomic_array.init n Fun.id
+
+let rec find t i =
+  let p = Rpb_prim.Atomic_array.get t i in
+  if p = i then i
+  else begin
+    let gp = Rpb_prim.Atomic_array.get t p in
+    (* Path halving: best-effort CAS; a lost race just means someone else
+       compressed first. *)
+    if gp <> p then ignore (Rpb_prim.Atomic_array.compare_and_set t i p gp);
+    find t p
+  end
+
+let rec union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    (* Deterministic linking: the larger root is linked under the smaller. *)
+    let hi = max ra rb and lo = min ra rb in
+    if Rpb_prim.Atomic_array.compare_and_set t hi hi lo then true
+    else
+      (* [hi] was linked by a racer; restart from the new roots. *)
+      union t a b
+  end
+
+let same t a b = find t a = find t b
+
+let count_roots pool t =
+  Rpb_pool.Pool.parallel_for_reduce ~start:0
+    ~finish:(Rpb_prim.Atomic_array.length t)
+    ~body:(fun i -> if Rpb_prim.Atomic_array.get t i = i then 1 else 0)
+    ~combine:( + ) ~init:0 pool
+
+let components pool t =
+  let n = Rpb_prim.Atomic_array.length t in
+  let out = Array.make n 0 in
+  Rpb_pool.Pool.parallel_for ~start:0 ~finish:n
+    ~body:(fun i -> out.(i) <- find t i)
+    pool;
+  out

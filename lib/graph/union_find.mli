@@ -1,0 +1,31 @@
+(** Lock-free concurrent union-find (disjoint sets) — the substrate of the
+    spanning-forest benchmarks (sf, msf).
+
+    Parents live in an atomic array; [union] links the larger root under the
+    smaller with compare-and-set and retries on races, and [find] applies
+    lock-free path halving.  Linking by index (min root wins) makes the final
+    forest deterministic regardless of interleaving. *)
+
+type t
+
+val create : int -> t
+(** [create n]: n singleton sets [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Current root of the element's set; safe to call concurrently with
+    unions (the result may be stale the instant it returns, as usual). *)
+
+val union : t -> int -> int -> bool
+(** [union t a b] merges the two sets; returns [true] iff they were distinct
+    (i.e. this call performed the link).  Among racing unions of the same two
+    sets exactly one returns [true]. *)
+
+val same : t -> int -> int -> bool
+(** Quiescently exact; under concurrency may return a stale [false]. *)
+
+val count_roots : Rpb_pool.Pool.t -> t -> int
+(** Number of disjoint sets (call when quiescent). *)
+
+val components : Rpb_pool.Pool.t -> t -> int array
+(** [components pool t] maps every element to its canonical root (call when
+    quiescent). *)

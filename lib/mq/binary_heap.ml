@@ -1,0 +1,71 @@
+type t = {
+  mutable pris : int array;
+  mutable vals : int array;
+  mutable n : int;
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { pris = Array.make capacity 0; vals = Array.make capacity 0; n = 0 }
+
+let size t = t.n
+let is_empty t = t.n = 0
+
+let grow t =
+  let cap = Array.length t.pris in
+  let pris = Array.make (2 * cap) 0 and vals = Array.make (2 * cap) 0 in
+  Array.blit t.pris 0 pris 0 t.n;
+  Array.blit t.vals 0 vals 0 t.n;
+  t.pris <- pris;
+  t.vals <- vals
+
+let swap t i j =
+  Rpb_prim.Util.array_swap t.pris i j;
+  Rpb_prim.Util.array_swap t.vals i j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.pris.(i) < t.pris.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.n && t.pris.(l) < t.pris.(!smallest) then smallest := l;
+  if r < t.n && t.pris.(r) < t.pris.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~pri v =
+  if t.n = Array.length t.pris then grow t;
+  t.pris.(t.n) <- pri;
+  t.vals.(t.n) <- v;
+  t.n <- t.n + 1;
+  sift_up t (t.n - 1)
+
+let peek_min t = if t.n = 0 then None else Some (t.pris.(0), t.vals.(0))
+
+let pop_min t =
+  if t.n = 0 then None
+  else begin
+    let top = (t.pris.(0), t.vals.(0)) in
+    t.n <- t.n - 1;
+    if t.n > 0 then begin
+      t.pris.(0) <- t.pris.(t.n);
+      t.vals.(0) <- t.vals.(t.n);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let to_sorted_list t =
+  let rec go acc =
+    match pop_min t with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []

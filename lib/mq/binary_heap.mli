@@ -1,0 +1,20 @@
+(** Resizable sequential binary min-heap of (priority, value) integer pairs —
+    the sequential priority queue each MultiQueue lane wraps (paper Sec. 6). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> pri:int -> int -> unit
+
+val peek_min : t -> (int * int) option
+(** [(priority, value)] with the smallest priority, without removing it. *)
+
+val pop_min : t -> (int * int) option
+
+val to_sorted_list : t -> (int * int) list
+(** Destructive: drains the heap in priority order (for tests). *)

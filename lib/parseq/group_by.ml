@@ -1,0 +1,17 @@
+
+let count_by pool ~key ~buckets a =
+  let keys = Rpb_core.Par_array.init pool (Array.length a) (fun i -> key a.(i)) in
+  Histogram.histogram pool ~keys ~buckets
+
+let group_by pool ~key ~buckets a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let sorted = Radix.counting_sort_by pool ~key ~buckets a in
+    let counts = count_by pool ~key ~buckets a in
+    let starts, _ = Scan.exclusive_int pool counts in
+    let nonempty = Pack.pack_index pool (fun k -> counts.(k) > 0) buckets in
+    Rpb_core.Par_array.map pool
+      (fun k -> (k, Array.sub sorted starts.(k) counts.(k)))
+      nonempty
+  end

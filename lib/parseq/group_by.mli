@@ -1,0 +1,14 @@
+(** Parallel grouping (PBBS "collect"): partition elements by an integer key
+    into contiguous groups — a counting sort, a scan, and an RngInd-style
+    per-group view. *)
+
+open Rpb_pool
+
+val group_by :
+  Pool.t -> key:('a -> int) -> buckets:int -> 'a array -> (int * 'a array) array
+(** [group_by pool ~key ~buckets a] returns the non-empty groups in
+    increasing key order; within a group, input order is preserved (the
+    underlying counting sort is stable). *)
+
+val count_by : Pool.t -> key:('a -> int) -> buckets:int -> 'a array -> int array
+(** Just the per-key counts. *)

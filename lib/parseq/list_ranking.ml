@@ -1,0 +1,48 @@
+open Rpb_pool
+
+let rank pool ~next =
+  let n = Array.length next in
+  let nxt = Array.copy next in
+  let dist =
+    Rpb_core.Par_array.init pool n (fun i -> if next.(i) = -1 then 0 else 1)
+  in
+  (* Pointer jumping: after round k every live pointer spans 2^k links, so
+     log2 n rounds suffice for acyclic chains. *)
+  let rounds = 2 + Rpb_prim.Util.ilog2 (Rpb_prim.Util.ceil_pow2 (max 1 n)) in
+  let live = ref true in
+  let round = ref 0 in
+  while !live do
+    incr round;
+    if !round > rounds then invalid_arg "List_ranking.rank: cycle detected";
+    let nxt_old = Array.copy nxt in
+    let dist_old = Array.copy dist in
+    let any = Atomic.make false in
+    Pool.parallel_for ~start:0 ~finish:n
+      ~body:(fun i ->
+        let j = Array.unsafe_get nxt_old i in
+        if j <> -1 then begin
+          Array.unsafe_set dist i
+            (Array.unsafe_get dist_old i + Array.unsafe_get dist_old j);
+          Array.unsafe_set nxt i (Array.unsafe_get nxt_old j);
+          if Array.unsafe_get nxt_old j <> -1 then Atomic.set any true
+        end)
+      pool;
+    live := Atomic.get any
+  done;
+  dist
+
+let rank_cycle pool ~next ~start =
+  let n = Array.length next in
+  if n = 0 then [||]
+  else begin
+    (* Break the cycle just before [start]: the node pointing at [start]
+       becomes a chain end; distance-to-end then gives position. *)
+    let broken = Array.copy next in
+    let pred = ref (-1) in
+    Array.iteri (fun i j -> if j = start then pred := i) next;
+    if !pred = -1 then invalid_arg "List_ranking.rank_cycle: start unreachable";
+    broken.(!pred) <- -1;
+    let dist = rank pool ~next:broken in
+    (* dist.(start) = n - 1; position = (n - 1) - dist. *)
+    Rpb_core.Par_array.init pool n (fun i -> n - 1 - dist.(i))
+  end

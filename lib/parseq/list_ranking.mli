@@ -1,0 +1,21 @@
+(** Parallel list ranking by pointer jumping (Wyllie's algorithm).
+
+    Given a linked structure as a successor array, computes each node's
+    distance to the end of its chain in O(log n) rounds of O(n) work.  This
+    is the PBBS technique that parallelizes inherently-sequential pointer
+    chases such as the Burrows–Wheeler decode walk (see
+    {!Rpb_text.Bwt.decode_parallel}). *)
+
+open Rpb_pool
+
+val rank : Pool.t -> next:int array -> int array
+(** [rank pool ~next] where [next.(i)] is node [i]'s successor or [-1] at a
+    chain end.  Returns [dist] with [dist.(i)] = number of links from [i] to
+    its chain's end ([0] for ends).  All chains must be acyclic; a cycle
+    makes the result meaningless (guarded by a round cap that raises
+    [Invalid_argument]). *)
+
+val rank_cycle : Pool.t -> next:int array -> start:int -> int array
+(** [rank_cycle pool ~next ~start] for a permutation [next] forming a single
+    cycle through all nodes: returns [pos] with [pos.(i)] = number of steps
+    from [start] to [i] along the cycle ([pos.(start) = 0]). *)

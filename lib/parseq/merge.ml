@@ -1,0 +1,87 @@
+open Rpb_pool
+
+let lower_bound cmp a ~lo ~hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if cmp a.(mid) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let upper_bound cmp a ~lo ~hi x =
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if cmp a.(mid) x <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let seq_merge cmp a alo ahi b blo bhi out out_lo =
+  let i = ref alo and j = ref blo and k = ref out_lo in
+  while !i < ahi && !j < bhi do
+    (* [<= 0] keeps the merge stable with ties drawn from [a]. *)
+    if cmp (Array.unsafe_get a !i) (Array.unsafe_get b !j) <= 0 then begin
+      Array.unsafe_set out !k (Array.unsafe_get a !i);
+      incr i
+    end
+    else begin
+      Array.unsafe_set out !k (Array.unsafe_get b !j);
+      incr j
+    end;
+    incr k
+  done;
+  while !i < ahi do
+    Array.unsafe_set out !k (Array.unsafe_get a !i);
+    incr i;
+    incr k
+  done;
+  while !j < bhi do
+    Array.unsafe_set out !k (Array.unsafe_get b !j);
+    incr j;
+    incr k
+  done
+
+let merge_cutoff = 4096
+
+let merge_into pool ~cmp a ~alo ~ahi b ~blo ~bhi out ~out_lo =
+  let rec go alo ahi blo bhi out_lo =
+    let total = ahi - alo + (bhi - blo) in
+    if total <= merge_cutoff then seq_merge cmp a alo ahi b blo bhi out out_lo
+    else if ahi - alo >= bhi - blo then begin
+      (* Split [a] at its median; find where that value belongs in [b].
+         Using lower_bound on [b] keeps stability: equal b-elements stay to
+         the right of the a-median. *)
+      let amid = alo + ((ahi - alo) / 2) in
+      let bmid = lower_bound cmp b ~lo:blo ~hi:bhi a.(amid) in
+      let out_mid = out_lo + (amid - alo) + (bmid - blo) in
+      let ((), ()) =
+        Pool.join pool
+          (fun () -> go alo amid blo bmid out_lo)
+          (fun () -> go amid ahi bmid bhi out_mid)
+      in
+      ()
+    end
+    else begin
+      let bmid = blo + ((bhi - blo) / 2) in
+      (* upper_bound on [a]: a-elements equal to b's median must go left. *)
+      let amid = upper_bound cmp a ~lo:alo ~hi:ahi b.(bmid) in
+      let out_mid = out_lo + (amid - alo) + (bmid - blo) in
+      let ((), ()) =
+        Pool.join pool
+          (fun () -> go alo amid blo bmid out_lo)
+          (fun () -> go amid ahi bmid bhi out_mid)
+      in
+      ()
+    end
+  in
+  go alo ahi blo bhi out_lo
+
+let merge pool ~cmp a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then Array.copy b
+  else if nb = 0 then Array.copy a
+  else begin
+    let out = Array.make (na + nb) a.(0) in
+    merge_into pool ~cmp a ~alo:0 ~ahi:na b ~blo:0 ~bhi:nb out ~out_lo:0;
+    out
+  end

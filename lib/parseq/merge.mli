@@ -1,0 +1,24 @@
+(** Parallel merge of two sorted runs by divide and conquer: split the larger
+    run at its median, binary-search the split point in the other, and merge
+    the halves into disjoint output ranges — fork-join with statically
+    disjoint writes, i.e. fearless in the paper's taxonomy. *)
+
+open Rpb_pool
+
+val lower_bound : ('a -> 'a -> int) -> 'a array -> lo:int -> hi:int -> 'a -> int
+(** First index in [\[lo, hi)] whose element is [>= x] (all equal elements to
+    the right). *)
+
+val upper_bound : ('a -> 'a -> int) -> 'a array -> lo:int -> hi:int -> 'a -> int
+(** First index in [\[lo, hi)] whose element is [> x]. *)
+
+val merge_into :
+  Pool.t -> cmp:('a -> 'a -> int) ->
+  'a array -> alo:int -> ahi:int ->
+  'a array -> blo:int -> bhi:int ->
+  'a array -> out_lo:int -> unit
+(** Merge [a.(alo..ahi)] and [b.(blo..bhi)] (both sorted, half-open) into
+    [out] starting at [out_lo].  Stable: ties taken from [a] first.  The
+    output region must not alias the inputs. *)
+
+val merge : Pool.t -> cmp:('a -> 'a -> int) -> 'a array -> 'a array -> 'a array

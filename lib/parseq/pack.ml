@@ -1,0 +1,60 @@
+open Rpb_pool
+
+let packi pool p a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let flags =
+      Rpb_core.Par_array.init pool n (fun i ->
+          if p i (Array.unsafe_get a i) then 1 else 0)
+    in
+    let positions, total = Scan.exclusive_int pool flags in
+    if total = 0 then [||]
+    else begin
+      let out = Array.make total a.(0) in
+      (* Offsets are unique by construction (strictly increasing where
+         flagged), so the unchecked scatter is algorithmically safe. *)
+      Pool.parallel_for ~start:0 ~finish:n
+        ~body:(fun i ->
+          if Array.unsafe_get flags i = 1 then
+            Array.unsafe_set out
+              (Array.unsafe_get positions i)
+              (Array.unsafe_get a i))
+        pool;
+      out
+    end
+  end
+
+let pack pool p a = packi pool (fun _ x -> p x) a
+
+let pack_index pool p n =
+  let idx = Rpb_core.Par_array.init pool n (fun i -> i) in
+  packi pool (fun i _ -> p i) idx
+
+let partition pool p a =
+  let yes = pack pool p a in
+  let no = pack pool (fun x -> not (p x)) a in
+  (yes, no)
+
+let flatten pool parts =
+  let k = Array.length parts in
+  if k = 0 then [||]
+  else begin
+    let lengths = Rpb_core.Par_array.init pool k (fun i -> Array.length parts.(i)) in
+    let offsets, total = Scan.exclusive_int pool lengths in
+    if total = 0 then [||]
+    else begin
+      (* Find a witness element to initialize the output. *)
+      let rec first i = if Array.length parts.(i) > 0 then parts.(i).(0) else first (i + 1) in
+      let out = Array.make total (first 0) in
+      Pool.parallel_for ~grain:1 ~start:0 ~finish:k
+        ~body:(fun i ->
+          let part = parts.(i) in
+          let off = offsets.(i) in
+          for j = 0 to Array.length part - 1 do
+            Array.unsafe_set out (off + j) (Array.unsafe_get part j)
+          done)
+        pool;
+      out
+    end
+  end

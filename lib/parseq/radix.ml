@@ -1,0 +1,97 @@
+open Rpb_pool
+
+let num_blocks pool n =
+  let target = 8 * Pool.size pool in
+  max 1 (min target (Rpb_prim.Util.ceil_div n 1024))
+
+let rank_by_key pool ~keys ~buckets =
+  assert (buckets > 0);
+  let n = Array.length keys in
+  let dest = Array.make n 0 in
+  if n > 0 then begin
+    let nb = num_blocks pool n in
+    let bsize = Rpb_prim.Util.ceil_div n nb in
+    (* counts.(b * buckets + k): occurrences of key k in block b. *)
+    let counts = Array.make (nb * buckets) 0 in
+    Pool.parallel_for ~grain:1 ~start:0 ~finish:nb
+      ~body:(fun b ->
+        let lo = b * bsize and hi = min n ((b + 1) * bsize) in
+        let base = b * buckets in
+        for i = lo to hi - 1 do
+          let k = Array.unsafe_get keys i in
+          counts.(base + k) <- counts.(base + k) + 1
+        done)
+      pool;
+    (* Global stable order: key-major, then block-major.  Column-major scan
+       of the counts matrix gives each (key, block) its start position. *)
+    let col = Array.make (nb * buckets) 0 in
+    Pool.parallel_for ~start:0 ~finish:(nb * buckets)
+      ~body:(fun j ->
+        let k = j / nb and b = j mod nb in
+        col.(j) <- counts.((b * buckets) + k))
+      pool;
+    let _total = Scan.exclusive_inplace_int pool col in
+    Pool.parallel_for ~grain:1 ~start:0 ~finish:nb
+      ~body:(fun b ->
+        let lo = b * bsize and hi = min n ((b + 1) * bsize) in
+        (* Per-block running cursor for each key. *)
+        let cursor = Array.make buckets 0 in
+        for k = 0 to buckets - 1 do
+          cursor.(k) <- col.((k * nb) + b)
+        done;
+        for i = lo to hi - 1 do
+          let k = Array.unsafe_get keys i in
+          Array.unsafe_set dest i cursor.(k);
+          cursor.(k) <- cursor.(k) + 1
+        done)
+      pool
+  end;
+  dest
+
+let counting_sort_by pool ~key ~buckets a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let keys = Rpb_core.Par_array.init pool n (fun i -> key a.(i)) in
+    let dest = rank_by_key pool ~keys ~buckets in
+    let out = Array.make n a.(0) in
+    Pool.parallel_for ~start:0 ~finish:n
+      ~body:(fun i ->
+        Array.unsafe_set out (Array.unsafe_get dest i) (Array.unsafe_get a i))
+      pool;
+    out
+  end
+
+let counting_sort pool ~buckets a = counting_sort_by pool ~key:Fun.id ~buckets a
+
+let radix_bits = 8
+let radix_buckets = 1 lsl radix_bits
+
+let radix_sort_by pool ~key a =
+  let n = Array.length a in
+  if n <= 1 then Array.copy a
+  else begin
+    let max_key =
+      Pool.parallel_for_reduce ~start:0 ~finish:n
+        ~body:(fun i ->
+          let k = key a.(i) in
+          if k < 0 then invalid_arg "Radix.radix_sort_by: negative key";
+          k)
+        ~combine:max ~init:0 pool
+    in
+    let passes =
+      let rec go bits acc = if max_key lsr bits = 0 then max acc 1 else go (bits + radix_bits) (acc + 1) in
+      go radix_bits 1
+    in
+    let cur = ref (Array.copy a) in
+    for p = 0 to passes - 1 do
+      let shift = p * radix_bits in
+      cur :=
+        counting_sort_by pool
+          ~key:(fun x -> (key x lsr shift) land (radix_buckets - 1))
+          ~buckets:radix_buckets !cur
+    done;
+    !cur
+  end
+
+let radix_sort pool a = radix_sort_by pool ~key:Fun.id a

@@ -1,0 +1,59 @@
+open Rpb_pool
+
+(* Swap target for index i: a hash-derived uniform value in [0, i]. *)
+let target ~seed i = if i = 0 then 0 else Rpb_prim.Rng.hash64 ((seed * 2654435761) + i) mod (i + 1)
+
+let shuffle_generic pool ~seed n ~swap =
+  (* owner.(c): highest remaining index bidding for cell c this round. *)
+  let owner = Rpb_prim.Atomic_array.make n (-1) in
+  let remaining = ref (Rpb_core.Par_array.init pool n (fun i -> n - 1 - i)) in
+  let guard = ref 0 in
+  while Array.length !remaining > 0 do
+    incr guard;
+    if !guard > n + 64 then failwith "Random_perm: no progress";
+    let frontier = !remaining in
+    (* Reserve both cells with a max-priority write. *)
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let i = frontier.(j) in
+        ignore (Rpb_prim.Atomic_array.fetch_max owner i i);
+        ignore (Rpb_prim.Atomic_array.fetch_max owner (target ~seed i) i))
+      pool;
+    (* Winners own both cells; their swaps are pairwise disjoint. *)
+    let done_ = Array.make (Array.length frontier) false in
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let i = frontier.(j) in
+        let h = target ~seed i in
+        if Rpb_prim.Atomic_array.get owner i = i
+           && Rpb_prim.Atomic_array.get owner h = i
+        then begin
+          swap i h;
+          done_.(j) <- true
+        end)
+      pool;
+    (* Clear only the touched cells, then retry the losers. *)
+    Pool.parallel_for ~start:0 ~finish:(Array.length frontier)
+      ~body:(fun j ->
+        let i = frontier.(j) in
+        Rpb_prim.Atomic_array.set owner i (-1);
+        Rpb_prim.Atomic_array.set owner (target ~seed i) (-1))
+      pool;
+    remaining := Pack.packi pool (fun j _ -> not done_.(j)) frontier
+  done
+
+let permutation pool ~seed n =
+  let a = Rpb_core.Par_array.init pool n Fun.id in
+  shuffle_generic pool ~seed n ~swap:(fun i j -> Rpb_prim.Util.array_swap a i j);
+  a
+
+let permutation_seq ~seed n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 0 do
+    Rpb_prim.Util.array_swap a i (target ~seed i)
+  done;
+  a
+
+let shuffle_inplace pool ~seed a =
+  shuffle_generic pool ~seed (Array.length a) ~swap:(fun i j ->
+      Rpb_prim.Util.array_swap a i j)

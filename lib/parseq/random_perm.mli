@@ -1,0 +1,22 @@
+(** Parallel random permutation by deterministic reservations — the PBBS
+    technique (Shun et al.) underlying the suite's mis/mm round structure,
+    applied to the Knuth shuffle.
+
+    Every index [i] draws a swap target [h i <= i]; the sequential shuffle
+    performs [swap a.(i) a.(h i)] for [i = n-1 downto 0].  In parallel,
+    each remaining index bids for both its cells with an atomic
+    priority-write (max index wins); winners' swap sets are disjoint, so
+    they commit in parallel, and the result is bit-identical to the
+    sequential shuffle over the same targets. *)
+
+open Rpb_pool
+
+val permutation : Pool.t -> seed:int -> int -> int array
+(** A uniform pseudo-random permutation of [0 .. n-1], identical to
+    {!permutation_seq} with the same seed. *)
+
+val permutation_seq : seed:int -> int -> int array
+(** Sequential Knuth shuffle over the same hash-derived swap targets. *)
+
+val shuffle_inplace : Pool.t -> seed:int -> 'a array -> unit
+(** Apply the same permutation to arbitrary payloads. *)

@@ -1,0 +1,70 @@
+open Rpb_pool
+
+let jacobi_1d pool ~iterations a =
+  let n = Array.length a in
+  if n < 3 || iterations = 0 then Array.copy a
+  else begin
+    let cur = ref (Array.copy a) in
+    let nxt = ref (Array.copy a) in
+    for _ = 1 to iterations do
+      let src = !cur and dst = !nxt in
+      Pool.parallel_for ~start:1 ~finish:(n - 1)
+        ~body:(fun i ->
+          Array.unsafe_set dst i
+            ((Array.unsafe_get src (i - 1)
+              +. Array.unsafe_get src i
+              +. Array.unsafe_get src (i + 1))
+            /. 3.0))
+        pool;
+      cur := dst;
+      nxt := src
+    done;
+    !cur
+  end
+
+let jacobi_1d_seq ~iterations a =
+  let n = Array.length a in
+  if n < 3 || iterations = 0 then Array.copy a
+  else begin
+    let cur = ref (Array.copy a) in
+    let nxt = ref (Array.copy a) in
+    for _ = 1 to iterations do
+      let src = !cur and dst = !nxt in
+      for i = 1 to n - 2 do
+        dst.(i) <- (src.(i - 1) +. src.(i) +. src.(i + 1)) /. 3.0
+      done;
+      cur := dst;
+      nxt := src
+    done;
+    !cur
+  end
+
+let jacobi_2d pool ~iterations ~rows ~cols a =
+  if Array.length a <> rows * cols then
+    invalid_arg "Stencil.jacobi_2d: grid size mismatch";
+  if rows < 3 || cols < 3 || iterations = 0 then Array.copy a
+  else begin
+    let cur = ref (Array.copy a) in
+    let nxt = ref (Array.copy a) in
+    for _ = 1 to iterations do
+      let src = !cur and dst = !nxt in
+      (* One task per interior row: Block-style disjoint writes. *)
+      Pool.parallel_for ~start:1 ~finish:(rows - 1)
+        ~body:(fun r ->
+          let base = r * cols in
+          for c = 1 to cols - 2 do
+            let i = base + c in
+            Array.unsafe_set dst i
+              ((Array.unsafe_get src (i - cols)
+                +. Array.unsafe_get src (i - 1)
+                +. Array.unsafe_get src i
+                +. Array.unsafe_get src (i + 1)
+                +. Array.unsafe_get src (i + cols))
+              /. 5.0)
+          done)
+        pool;
+      cur := dst;
+      nxt := src
+    done;
+    !cur
+  end

@@ -1,0 +1,18 @@
+(** Stencil computations — one of the regular patterns in the paper's
+    coverage list (Sec. 7.1): each output cell reads a fixed neighbourhood of
+    the input generation and writes only its own cell, a Stride write over a
+    double-buffered pair of grids. *)
+
+open Rpb_pool
+
+val jacobi_1d : Pool.t -> iterations:int -> float array -> float array
+(** Repeated three-point averaging with fixed endpoints.  Returns a new
+    array; the input is untouched. *)
+
+val jacobi_2d :
+  Pool.t -> iterations:int -> rows:int -> cols:int -> float array -> float array
+(** Five-point stencil on a row-major [rows x cols] grid with fixed border
+    cells. *)
+
+val jacobi_1d_seq : iterations:int -> float array -> float array
+(** Sequential reference. *)

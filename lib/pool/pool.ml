@@ -1,0 +1,333 @@
+type task = unit -> unit
+
+type 'a state = Pending | Done of 'a | Raised of exn
+type 'a promise = 'a state Atomic.t
+
+exception Shutdown
+
+type t = {
+  id : int;
+  num_workers : int;
+  deques : task Ws_deque.t array;
+  mutable domains : unit Domain.t array;
+  injector : task Queue.t;
+  inj_mutex : Mutex.t;
+  idle_mutex : Mutex.t;
+  idle_cond : Condition.t;
+  wake_version : int Atomic.t;
+  sleepers : int Atomic.t;
+  shutdown_flag : bool Atomic.t;
+  running : bool Atomic.t;
+  tasks_executed : int Atomic.t;
+  steals : int Atomic.t;
+}
+
+let next_pool_id = Atomic.make 0
+
+(* Which (pool id, worker index) the current domain is executing for. *)
+let slot_key : (int * int) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let my_index pool =
+  match !(Domain.DLS.get slot_key) with
+  | Some (pid, idx) when pid = pool.id -> Some idx
+  | _ -> None
+
+let size pool = pool.num_workers
+
+(* Eventcount-style wakeup: pushers bump [wake_version] then broadcast if any
+   worker registered as sleeping; sleepers re-check the version under the
+   mutex before waiting, so no wakeup can be missed. *)
+let signal_work pool =
+  Atomic.incr pool.wake_version;
+  if Atomic.get pool.sleepers > 0 then begin
+    Mutex.lock pool.idle_mutex;
+    Condition.broadcast pool.idle_cond;
+    Mutex.unlock pool.idle_mutex
+  end
+
+let push_local pool idx task =
+  Ws_deque.push pool.deques.(idx) task;
+  signal_work pool
+
+let push_external pool task =
+  Mutex.lock pool.inj_mutex;
+  Queue.push task pool.injector;
+  Mutex.unlock pool.inj_mutex;
+  signal_work pool
+
+let take_injected pool =
+  if Queue.is_empty pool.injector then None
+  else begin
+    Mutex.lock pool.inj_mutex;
+    let t = Queue.take_opt pool.injector in
+    Mutex.unlock pool.inj_mutex;
+    t
+  end
+
+(* One attempt to find work: own deque first (depth-first order), then a
+   random sweep over victims, then the injector. *)
+let try_find_task pool my_idx rng =
+  match Ws_deque.pop pool.deques.(my_idx) with
+  | Some _ as t -> t
+  | None ->
+    let n = pool.num_workers in
+    let start = if n > 1 then Rpb_prim.Rng.int rng n else 0 in
+    let rec sweep k =
+      if k >= n then None
+      else begin
+        let v = (start + k) mod n in
+        if v = my_idx then sweep (k + 1)
+        else
+          match Ws_deque.steal pool.deques.(v) with
+          | Some _ as t ->
+            Atomic.incr pool.steals;
+            t
+          | None -> sweep (k + 1)
+      end
+    in
+    (match sweep 0 with
+     | Some _ as t -> t
+     | None -> take_injected pool)
+
+let execute pool task =
+  Atomic.incr pool.tasks_executed;
+  task ()
+
+let worker_loop pool idx =
+  Domain.DLS.get slot_key := Some (pool.id, idx);
+  let rng = Rpb_prim.Rng.create (0x5EED + idx) in
+  let spin_budget = 64 in
+  let rec loop spins =
+    if Atomic.get pool.shutdown_flag then ()
+    else
+      match try_find_task pool idx rng with
+      | Some task ->
+        execute pool task;
+        loop spin_budget
+      | None ->
+        if spins > 0 then begin
+          Domain.cpu_relax ();
+          loop (spins - 1)
+        end
+        else begin
+          (* Sleep until new work is signalled (or shutdown). *)
+          let seen = Atomic.get pool.wake_version in
+          Mutex.lock pool.idle_mutex;
+          Atomic.incr pool.sleepers;
+          if Atomic.get pool.wake_version = seen
+             && not (Atomic.get pool.shutdown_flag)
+          then Condition.wait pool.idle_cond pool.idle_mutex;
+          Atomic.decr pool.sleepers;
+          Mutex.unlock pool.idle_mutex;
+          loop spin_budget
+        end
+  in
+  loop spin_budget
+
+let create ?name:_ ~num_workers () =
+  if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+  let pool =
+    {
+      id = Atomic.fetch_and_add next_pool_id 1;
+      num_workers;
+      deques = Array.init num_workers (fun _ -> Ws_deque.create ());
+      domains = [||];
+      injector = Queue.create ();
+      inj_mutex = Mutex.create ();
+      idle_mutex = Mutex.create ();
+      idle_cond = Condition.create ();
+      wake_version = Atomic.make 0;
+      sleepers = Atomic.make 0;
+      shutdown_flag = Atomic.make false;
+      running = Atomic.make false;
+      tasks_executed = Atomic.make 0;
+      steals = Atomic.make 0;
+    }
+  in
+  pool.domains <-
+    Array.init (num_workers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let shutdown pool =
+  if not (Atomic.exchange pool.shutdown_flag true) then begin
+    Mutex.lock pool.idle_mutex;
+    Condition.broadcast pool.idle_cond;
+    Mutex.unlock pool.idle_mutex;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end
+
+let check_alive pool = if Atomic.get pool.shutdown_flag then raise Shutdown
+
+let make_task f p () =
+  (match f () with
+   | x -> Atomic.set p (Done x)
+   | exception e -> Atomic.set p (Raised e))
+
+let async pool f =
+  check_alive pool;
+  let p = Atomic.make Pending in
+  (match my_index pool with
+   | Some idx -> push_local pool idx (make_task f p)
+   | None ->
+     if pool.num_workers = 1 then
+       (* No workers to pick the task up: run it eagerly. *)
+       make_task f p ()
+     else push_external pool (make_task f p));
+  p
+
+(* Helping wait: while the promise is pending, execute other pool tasks.  A
+   worker never blocks here, so nested fork-join cannot deadlock. *)
+let await pool p =
+  let finish () =
+    match Atomic.get p with
+    | Done x -> x
+    | Raised e -> raise e
+    | Pending -> assert false
+  in
+  (match my_index pool with
+   | Some idx ->
+     let rng = Rpb_prim.Rng.create (0xA3A17 + idx) in
+     let rec help spins =
+       match Atomic.get p with
+       | Pending ->
+         (match try_find_task pool idx rng with
+          | Some task ->
+            execute pool task;
+            help 64
+          | None ->
+            if spins > 0 then begin
+              Domain.cpu_relax ();
+              help (spins - 1)
+            end
+            else begin
+              (* The task is running on another worker; yield the core. *)
+              Unix.sleepf 5e-5;
+              help 64
+            end)
+       | Done _ | Raised _ -> ()
+     in
+     help 64
+   | None ->
+     let rec wait () =
+       match Atomic.get p with
+       | Pending ->
+         Unix.sleepf 1e-4;
+         wait ()
+       | Done _ | Raised _ -> ()
+     in
+     wait ());
+  finish ()
+
+let try_result p =
+  match Atomic.get p with
+  | Pending -> None
+  | Done x -> Some (Ok x)
+  | Raised e -> Some (Error e)
+
+let join pool f g =
+  match my_index pool with
+  | None ->
+    let a = f () in
+    let b = g () in
+    (a, b)
+  | Some _ ->
+    let pg = async pool g in
+    let a = f () in
+    let b = await pool pg in
+    (a, b)
+
+let default_grain pool n = max 1 (n / (8 * pool.num_workers))
+
+let parallel_for ?grain ~start ~finish ~body pool =
+  let n = finish - start in
+  if n > 0 then begin
+    let grain =
+      match grain with Some g -> max 1 g | None -> default_grain pool n
+    in
+    if pool.num_workers = 1 || my_index pool = None then
+      for i = start to finish - 1 do
+        body i
+      done
+    else begin
+      let rec go lo hi =
+        if hi - lo <= grain then
+          for i = lo to hi - 1 do
+            body i
+          done
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          let ((), ()) = join pool (fun () -> go lo mid) (fun () -> go mid hi) in
+          ()
+        end
+      in
+      go start finish
+    end
+  end
+
+let parallel_for_reduce ?grain ~start ~finish ~body ~combine ~init pool =
+  let n = finish - start in
+  if n <= 0 then init
+  else begin
+    let grain =
+      match grain with Some g -> max 1 g | None -> default_grain pool n
+    in
+    let leaf lo hi =
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := combine !acc (body i)
+      done;
+      !acc
+    in
+    if pool.num_workers = 1 || my_index pool = None then leaf start finish
+    else begin
+      let rec go lo hi =
+        if hi - lo <= grain then leaf lo hi
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          let a, b = join pool (fun () -> go lo mid) (fun () -> go mid hi) in
+          combine a b
+        end
+      in
+      go start finish
+    end
+  end
+
+let parallel_chunks ?grain ~start ~finish ~body pool =
+  let n = finish - start in
+  if n > 0 then begin
+    let grain =
+      match grain with Some g -> max 1 g | None -> default_grain pool n
+    in
+    let chunks = Rpb_prim.Util.ceil_div n grain in
+    parallel_for ~grain:1 ~start:0 ~finish:chunks
+      ~body:(fun c ->
+        let lo = start + (c * grain) in
+        let hi = min finish (lo + grain) in
+        body lo hi)
+      pool
+  end
+
+let run pool f =
+  check_alive pool;
+  (match my_index pool with
+   | Some _ -> invalid_arg "Pool.run: nested run on the same pool"
+   | None -> ());
+  if Atomic.exchange pool.running true then
+    invalid_arg "Pool.run: pool already has an active run";
+  let slot = Domain.DLS.get slot_key in
+  slot := Some (pool.id, 0);
+  Fun.protect
+    ~finally:(fun () ->
+      slot := None;
+      Atomic.set pool.running false)
+    f
+
+let current_worker = my_index
+
+let stats pool =
+  Printf.sprintf "workers=%d tasks=%d steals=%d" pool.num_workers
+    (Atomic.get pool.tasks_executed)
+    (Atomic.get pool.steals)

@@ -1,0 +1,85 @@
+(** Work-stealing fork-join pool over OCaml domains.
+
+    This is the reproduction's stand-in for Rayon (and for the OpenCilk
+    runtime used by the paper's C++ baselines): a fixed set of worker domains,
+    one Chase–Lev deque per worker, random-victim stealing, and blocking
+    idle-wait so that an oversubscribed machine is not burned by spinning.
+
+    The usage discipline mirrors Rayon's implicit global pool made explicit:
+
+    {[
+      let pool = Pool.create ~num_workers:4 () in
+      Pool.run pool (fun () ->
+        Pool.parallel_for ~start:0 ~finish:n ~body:(fun i -> ...) pool);
+      Pool.shutdown pool
+    ]}
+
+    All parallel operations ({!async}, {!join}, {!parallel_for}, ...) must be
+    called from inside {!run} (the calling domain becomes worker 0) or from a
+    task already executing on the pool.  {!await} never blocks the worker: it
+    helps by popping and stealing pending tasks, the standard fork-join
+    "help-first" policy that makes nested parallelism deadlock-free. *)
+
+type t
+
+type 'a promise
+
+exception Shutdown
+(** Raised by operations on a pool after {!shutdown}. *)
+
+val create : ?name:string -> num_workers:int -> unit -> t
+(** [create ~num_workers ()] spawns [num_workers - 1] worker domains; the
+    domain that later calls {!run} acts as the remaining worker.
+    [num_workers] must be at least 1.  With [num_workers = 1] every operation
+    degrades to sequential execution on the caller. *)
+
+val size : t -> int
+(** Number of workers (including the caller-during-[run]). *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run pool f] executes [f] with the calling domain installed as worker 0.
+    Nested [run] on the same pool from inside a task is not allowed.
+    Exceptions raised by [f] propagate. *)
+
+val shutdown : t -> unit
+(** Terminates the worker domains and joins them.  Idempotent. *)
+
+val async : t -> (unit -> 'a) -> 'a promise
+(** Schedule a task.  Must be called from within {!run} or from a pool task. *)
+
+val await : t -> 'a promise -> 'a
+(** Wait for a promise, executing other pool tasks while waiting.  Re-raises
+    the task's exception if it failed. *)
+
+val try_result : 'a promise -> ('a, exn) result option
+(** Non-blocking peek: [None] while the task is still pending. *)
+
+val join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [join pool f g] runs [f] and [g] potentially in parallel and returns both
+    results — the Rayon [join] of the paper's Listing 9. *)
+
+val parallel_for : ?grain:int -> start:int -> finish:int -> body:(int -> unit) -> t -> unit
+(** [parallel_for ~start ~finish ~body pool] applies [body] to every index in
+    the half-open range [\[start, finish)], splitting recursively until ranges
+    are at most [grain] long.  The default grain targets ~8 leaves per
+    worker.  The pool comes last (domainslib convention) so that the optional
+    [?grain] can be erased. *)
+
+val parallel_for_reduce :
+  ?grain:int -> start:int -> finish:int ->
+  body:(int -> 'a) -> combine:('a -> 'a -> 'a) -> init:'a -> t -> 'a
+(** Tree-shaped map-reduce over an index range.  [combine] must be
+    associative; [init] must be its identity on the left of any leaf result. *)
+
+val parallel_chunks :
+  ?grain:int -> start:int -> finish:int -> body:(int -> int -> unit) -> t -> unit
+(** [parallel_chunks ~start ~finish ~body pool] partitions the range into
+    contiguous chunks and calls [body lo hi] once per chunk ([hi] exclusive).
+    Used to express Block-style operators where the per-chunk loop matters. *)
+
+val current_worker : t -> int option
+(** The calling domain's worker index, if it is executing on this pool.
+    Useful for per-worker scratch state. *)
+
+val stats : t -> string
+(** Human-readable counters (tasks executed, steals) for diagnostics. *)

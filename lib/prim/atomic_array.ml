@@ -1,0 +1,30 @@
+type t = int Atomic.t array
+
+let make n v = Array.init n (fun _ -> Atomic.make v)
+let init n f = Array.init n (fun i -> Atomic.make (f i))
+let length = Array.length
+let get a i = Atomic.get a.(i)
+let set a i v = Atomic.set a.(i) v
+let unsafe_get a i = Atomic.get (Array.unsafe_get a i)
+let unsafe_set a i v = Atomic.set (Array.unsafe_get a i) v
+let compare_and_set a i expected v = Atomic.compare_and_set a.(i) expected v
+let fetch_and_add a i d = Atomic.fetch_and_add a.(i) d
+
+let rec fetch_min a i v =
+  let cur = Atomic.get a.(i) in
+  if v >= cur then cur
+  else if Atomic.compare_and_set a.(i) cur v then cur
+  else fetch_min a i v
+
+let rec fetch_max a i v =
+  let cur = Atomic.get a.(i) in
+  if v <= cur then cur
+  else if Atomic.compare_and_set a.(i) cur v then cur
+  else fetch_max a i v
+
+let to_array a = Array.map Atomic.get a
+let of_array a = Array.map Atomic.make a
+
+let blit_from_array src dst =
+  assert (Array.length src = Array.length dst);
+  Array.iteri (fun i v -> Atomic.set dst.(i) v) src

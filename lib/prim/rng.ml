@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let next t = Int64.to_int (next_int64 t) land max_int
+
+let split t =
+  let s = next_int64 t in
+  { state = mix64 s }
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (x /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let exponential_int t ~mean =
+  assert (mean > 0);
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  let x = -.float_of_int mean *. log u in
+  int_of_float x
+
+(* The hash from PBBS, reproduced from the paper's Listing 10.  Constants
+   exceed OCaml's 63-bit native ints, so the wrapping arithmetic runs on
+   Int64 and the result is truncated to a non-negative native int. *)
+let hash64 i =
+  let open Int64 in
+  let ( *% ) = mul and ( +% ) = add in
+  let v = of_int i *% 3935559000370003845L +% 2691343689449507681L in
+  let v = logxor v (shift_right_logical v 21) in
+  let v = logxor v (shift_left v 37) in
+  let v = logxor v (shift_right_logical v 4) in
+  let v = v *% 4768777513237032717L in
+  let v = logxor v (shift_left v 20) in
+  let v = logxor v (shift_right_logical v 41) in
+  let v = logxor v (shift_left v 5) in
+  to_int v land Stdlib.max_int
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All RPB inputs are generated deterministically from explicit seeds so that
+    every benchmark run and every test is reproducible.  Two generators are
+    provided: a stateful SplitMix64 stream and the stateless PBBS hash used by
+    the paper (Appendix A, Listing 10). *)
+
+type t
+(** A stateful SplitMix64 generator.  Not thread-safe: use one per domain, or
+    derive independent streams with {!split}. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val next : t -> int
+(** [next t] returns a uniform 63-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int t bound] returns a uniform integer in [\[0, bound)].  [bound] must be
+    positive. *)
+
+val float : t -> float -> float
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** [bool t] returns a uniform boolean. *)
+
+val exponential_int : t -> mean:int -> int
+(** [exponential_int t ~mean] samples a geometric/exponential-shaped
+    non-negative integer with the given mean, matching PBBS's "exponential"
+    integer inputs where small values are abundant and duplicates common. *)
+
+val hash64 : int -> int
+(** The PBBS hash function of Listing 10 (Appendix A), mapping an index to a
+    pseudo-random 63-bit non-negative integer.  Stateless: usable concurrently
+    from any number of domains. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] returns a uniform random permutation of [0..n-1]
+    (Fisher–Yates). *)

@@ -1,0 +1,33 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  let t1 = now () in
+  (x, t1 -. t0)
+
+let best_of ~repeats f =
+  assert (repeats > 0);
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let x, dt = time f in
+    if dt < !best then best := dt;
+    result := Some x
+  done;
+  match !result with
+  | Some x -> (x, !best)
+  | None -> assert false
+
+let mean_of ~repeats f =
+  assert (repeats > 0);
+  let total = ref 0.0 in
+  let result = ref None in
+  for _ = 1 to repeats do
+    let x, dt = time f in
+    total := !total +. dt;
+    result := Some x
+  done;
+  match !result with
+  | Some x -> (x, !total /. float_of_int repeats)
+  | None -> assert false

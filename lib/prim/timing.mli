@@ -1,0 +1,16 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Monotonic wall-clock time in seconds. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+val best_of : repeats:int -> (unit -> 'a) -> 'a * float
+(** [best_of ~repeats f] runs [f] [repeats] times and returns the last result
+    together with the minimum elapsed time, the usual noise-robust estimator
+    for microbenchmarks. *)
+
+val mean_of : repeats:int -> (unit -> 'a) -> 'a * float
+(** Like {!best_of} but reports the arithmetic-mean time, matching the paper's
+    "report mean execution times" methodology (Sec. 7.1). *)

@@ -1,0 +1,55 @@
+open Rpb_pool
+
+let kasai pool s ~sa =
+  let n = String.length s in
+  if Array.length sa <> n then invalid_arg "Lcp.kasai: sa length mismatch";
+  let rank = Suffix_array.rank_of pool sa in
+  let lcp = Array.make n 0 in
+  let h = ref 0 in
+  for i = 0 to n - 1 do
+    if rank.(i) > 0 then begin
+      let j = sa.(rank.(i) - 1) in
+      while i + !h < n && j + !h < n && s.[i + !h] = s.[j + !h] do
+        incr h
+      done;
+      lcp.(rank.(i)) <- !h;
+      if !h > 0 then decr h
+    end
+    else h := 0
+  done;
+  lcp
+
+type lrs_result = { length : int; position : int }
+
+let longest_repeated_substring ?mode pool s =
+  let n = String.length s in
+  if n < 2 then { length = 0; position = 0 }
+  else begin
+    let sa = Suffix_array.build ?mode pool s in
+    let lcp = kasai pool s ~sa in
+    let best =
+      Pool.parallel_for_reduce ~start:1 ~finish:n
+        ~body:(fun j -> (lcp.(j), sa.(j)))
+        ~combine:(fun (l1, p1) (l2, p2) ->
+          if l1 > l2 || (l1 = l2 && p1 <= p2) then (l1, p1) else (l2, p2))
+        ~init:(0, 0) pool
+    in
+    { length = fst best; position = snd best }
+  end
+
+let lrs_naive s =
+  let n = String.length s in
+  let common i j =
+    let k = ref 0 in
+    while i + !k < n && j + !k < n && s.[i + !k] = s.[j + !k] do
+      incr k
+    done;
+    !k
+  in
+  let best = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      best := max !best (common i j)
+    done
+  done;
+  !best

@@ -1,0 +1,25 @@
+(** Longest-common-prefix arrays (Kasai et al.) and the longest repeated
+    substring — the paper's [lrs] benchmark.
+
+    Kasai's pass is an amortized-O(n) pointer walk with a carried [h]
+    counter, so it runs sequentially; everything around it (rank inversion,
+    the max-reduction) is parallel. *)
+
+open Rpb_pool
+
+val kasai : Pool.t -> string -> sa:int array -> int array
+(** [lcp.(j)] is the length of the longest common prefix of the suffixes at
+    [sa.(j - 1)] and [sa.(j)]; [lcp.(0) = 0]. *)
+
+type lrs_result = { length : int; position : int }
+(** The longest substring occurring at least twice, and one of its start
+    positions. *)
+
+val longest_repeated_substring :
+  ?mode:Suffix_array.scatter_mode -> Pool.t -> string -> lrs_result
+(** Suffix array + LCP + parallel arg-max.  [mode] selects the checked or
+    unchecked scatter inside the suffix-array rounds (Fig. 5a switch). *)
+
+val lrs_naive : string -> int
+(** Quadratic reference for small tests: length of the longest repeated
+    substring. *)

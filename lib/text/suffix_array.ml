@@ -1,0 +1,146 @@
+open Rpb_pool
+
+type scatter_mode = Unchecked_scatter | Checked_scatter
+
+(* Stably permute [a] so that it is ordered by [key a_i] (small ints in
+   [0, buckets)), using the parallel counting rank.  The application of the
+   rank is itself a SngInd write through [dest]; in checked mode it is
+   validated like every other indirect write (the paper checks every
+   par_ind_iter_mut instance). *)
+let stable_order_by ?(checked = false) pool ~buckets ~key a =
+  let n = Array.length a in
+  let keys = Rpb_core.Par_array.init pool n (fun i -> key a.(i)) in
+  let dest = Rpb_parseq.Radix.rank_by_key pool ~keys ~buckets in
+  if checked then Rpb_core.Scatter.validate_offsets pool ~n dest;
+  let out = Array.make n 0 in
+  Pool.parallel_for ~start:0 ~finish:n
+    ~body:(fun i -> Array.unsafe_set out (Array.unsafe_get dest i) (Array.unsafe_get a i))
+    pool;
+  out
+
+let build ?(mode = Unchecked_scatter) pool s =
+  let n = String.length s in
+  if n = 0 then [||]
+  else if n = 1 then [| 0 |]
+  else begin
+    let checked = mode = Checked_scatter in
+    (* Round 0: order suffixes by first character and densify ranks into
+       [0, n), so later rounds can use counting passes with n+1 buckets. *)
+    let sa = ref (stable_order_by ~checked pool ~buckets:256 ~key:(fun i -> Char.code s.[i]) (Array.init n Fun.id)) in
+    let rank = Array.make n 0 in
+    let char_flags =
+      let sa0 = !sa in
+      Rpb_core.Par_array.init pool n (fun j ->
+          if j = 0 then 0
+          else if s.[sa0.(j - 1)] <> s.[sa0.(j)] then 1
+          else 0)
+    in
+    let initial_ranks = Rpb_parseq.Scan.inclusive_int pool char_flags in
+    Rpb_core.Scatter.unchecked pool ~out:rank ~offsets:!sa ~src:initial_ranks;
+    let k = ref 1 in
+    let finished = ref (initial_ranks.(n - 1) = n - 1) in
+    while not !finished do
+      (* Key pair for suffix i at width k: (rank.(i), rank.(i+k)+1 or 0). *)
+      let key2 i = if i + !k < n then rank.(i + !k) + 1 else 0 in
+      (* LSD: stable sort by the minor key, then by the major key. *)
+      let pass1 = stable_order_by ~checked pool ~buckets:(n + 1) ~key:key2 !sa in
+      let pass2 = stable_order_by ~checked pool ~buckets:n ~key:(fun i -> rank.(i)) pass1 in
+      sa := pass2;
+      let sa_now = !sa in
+      (* Flags mark positions where the key pair differs from the previous
+         suffix; their inclusive scan is the new rank. *)
+      let flags =
+        Rpb_core.Par_array.init pool n (fun j ->
+            if j = 0 then 0
+            else begin
+              let a = sa_now.(j - 1) and b = sa_now.(j) in
+              if rank.(a) <> rank.(b) || key2 a <> key2 b then 1 else 0
+            end)
+      in
+      let new_ranks = Rpb_parseq.Scan.inclusive_int pool flags in
+      (* Indirect scatter through the suffix array (a permutation): the
+         SngInd write this benchmark is known for. *)
+      (match mode with
+       | Unchecked_scatter ->
+         Rpb_core.Scatter.unchecked pool ~out:rank ~offsets:sa_now ~src:new_ranks
+       | Checked_scatter ->
+         Rpb_core.Scatter.checked pool ~out:rank ~offsets:sa_now ~src:new_ranks);
+      if new_ranks.(n - 1) = n - 1 || !k >= n then finished := true
+      else k := 2 * !k
+    done;
+    !sa
+  end
+
+let rank_of pool sa =
+  let n = Array.length sa in
+  let rank = Array.make n 0 in
+  Pool.parallel_for ~start:0 ~finish:n
+    ~body:(fun i -> Array.unsafe_set rank (Array.unsafe_get sa i) i)
+    pool;
+  rank
+
+let suffix_compare s i j =
+  let n = String.length s in
+  let rec go i j =
+    if i >= n then if j >= n then 0 else -1
+    else if j >= n then 1
+    else begin
+      let c = Char.compare s.[i] s.[j] in
+      if c <> 0 then c else go (i + 1) (j + 1)
+    end
+  in
+  go i j
+
+let is_suffix_array s sa =
+  let n = String.length s in
+  Array.length sa = n
+  && begin
+    let seen = Array.make n false in
+    Array.for_all
+      (fun i ->
+        if i < 0 || i >= n || seen.(i) then false
+        else begin
+          seen.(i) <- true;
+          true
+        end)
+      sa
+    && begin
+      let ok = ref true in
+      for j = 1 to n - 1 do
+        if suffix_compare s sa.(j - 1) sa.(j) >= 0 then ok := false
+      done;
+      !ok
+    end
+  end
+
+let build_seq s =
+  let n = String.length s in
+  if n = 0 then [||]
+  else begin
+    let rank = Array.init n (fun i -> Char.code s.[i]) in
+    let sa = Array.init n Fun.id in
+    let tmp = Array.make n 0 in
+    let k = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      let key2 i = if !k > 0 && i + !k < n then rank.(i + !k) + 1 else if !k > 0 then 0 else 0 in
+      let cmp i j =
+        let c = compare rank.(i) rank.(j) in
+        if c <> 0 then c else compare (key2 i) (key2 j)
+      in
+      Array.sort cmp sa;
+      tmp.(sa.(0)) <- 0;
+      for j = 1 to n - 1 do
+        tmp.(sa.(j)) <- (tmp.(sa.(j - 1)) + if cmp sa.(j - 1) sa.(j) <> 0 then 1 else 0)
+      done;
+      Array.blit tmp 0 rank 0 n;
+      if rank.(sa.(n - 1)) = n - 1 then finished := true
+      else k := max 1 (2 * !k)
+    done;
+    sa
+  end
+
+let build_naive s =
+  let sa = Array.init (String.length s) Fun.id in
+  Array.sort (fun i j -> suffix_compare s i j) sa;
+  sa

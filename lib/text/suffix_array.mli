@@ -1,0 +1,33 @@
+(** Parallel suffix array by prefix doubling — the paper's [sa] benchmark.
+
+    Each round stably sorts suffix indices by the pair
+    [(rank.(i), rank.(i + k))] using two parallel counting-rank passes, then
+    rebuilds ranks with a flag scan and an indirect scatter through the
+    suffix array — a permutation, so a SngInd write that is unique by
+    algorithm but not by type.  O(n log n) work over log n rounds. *)
+
+open Rpb_pool
+
+type scatter_mode = Unchecked_scatter | Checked_scatter
+(** Whether the rank-rebuild scatter validates offset uniqueness each round —
+    the fear/overhead switch of the paper's Fig. 5(a). *)
+
+val build : ?mode:scatter_mode -> Pool.t -> string -> int array
+(** [build pool s] returns the suffix array: the [i]-th entry is the start
+    position of the [i]-th smallest suffix of [s]. *)
+
+val rank_of : Pool.t -> int array -> int array
+(** [rank_of pool sa] inverts a suffix array: [rank.(sa.(i)) = i]. *)
+
+val is_suffix_array : string -> int array -> bool
+(** Oracle check: a permutation of [0..n-1] with strictly increasing
+    suffixes (O(n^2) worst case; for tests). *)
+
+val build_seq : string -> int array
+(** Sequential prefix doubling with comparison sorts — the same O(n log^2 n)
+    algorithm shape as {!build}, single-threaded (the performance
+    baseline). *)
+
+val build_naive : string -> int array
+(** Sequential comparison-sort-of-suffixes construction (the small-input
+    verification oracle; O(n^2 log n) worst case). *)

@@ -1,0 +1,57 @@
+(* A small dictionary; Zipf rank selection makes early words dominate, which
+   yields the heavy repetition structure of natural-language corpora. *)
+let dictionary =
+  [|
+    "the"; "of"; "and"; "in"; "to"; "a"; "is"; "was"; "for"; "as"; "with";
+    "on"; "by"; "that"; "from"; "at"; "his"; "it"; "an"; "were"; "which";
+    "are"; "this"; "also"; "be"; "or"; "has"; "had"; "first"; "one"; "their";
+    "its"; "new"; "after"; "but"; "who"; "not"; "they"; "have"; "her"; "she";
+    "two"; "been"; "other"; "when"; "time"; "during"; "there"; "into"; "all";
+    "may"; "university"; "between"; "city"; "world"; "war"; "united";
+    "states"; "national"; "years"; "american"; "would"; "where"; "later";
+    "became"; "about"; "under"; "known"; "most"; "century"; "state"; "over";
+    "system"; "village"; "population"; "district"; "history"; "album";
+    "series"; "south"; "north";
+  |]
+
+let zipf_pick rng =
+  (* P(rank r) proportional to 1/(r+1): inverse-CDF by rejection-free trick. *)
+  let n = Array.length dictionary in
+  let h = float_of_int (Rpb_prim.Rng.int rng 1_000_000) /. 1_000_000.0 in
+  (* Harmonic inverse approximated by exponential spacing. *)
+  let r = int_of_float (float_of_int n ** h) - 1 in
+  dictionary.(max 0 (min (n - 1) r))
+
+let wiki ~size ~seed =
+  let buf = Buffer.create (size + 16) in
+  let rng = Rpb_prim.Rng.create seed in
+  let words_in_sentence = ref 0 in
+  while Buffer.length buf < size do
+    let w = zipf_pick rng in
+    if !words_in_sentence = 0 then begin
+      Buffer.add_char buf (Char.uppercase_ascii w.[0]);
+      Buffer.add_string buf (String.sub w 1 (String.length w - 1))
+    end
+    else Buffer.add_string buf w;
+    incr words_in_sentence;
+    if !words_in_sentence > 8 + Rpb_prim.Rng.int rng 8 then begin
+      Buffer.add_string buf ". ";
+      words_in_sentence := 0
+    end
+    else Buffer.add_char buf ' '
+  done;
+  String.sub (Buffer.contents buf) 0 size
+
+let periodic ~size ~period =
+  if String.length period = 0 then invalid_arg "Text_gen.periodic: empty period";
+  let buf = Buffer.create (size + String.length period) in
+  while Buffer.length buf < size do
+    Buffer.add_string buf period
+  done;
+  String.sub (Buffer.contents buf) 0 size
+
+let random_bytes ~size ~seed ~alphabet =
+  if alphabet < 1 || alphabet > 26 then
+    invalid_arg "Text_gen.random_bytes: alphabet in [1, 26]";
+  String.init size (fun i ->
+      Char.chr (Char.code 'a' + (Rpb_prim.Rng.hash64 ((seed * 77) + i) mod alphabet)))

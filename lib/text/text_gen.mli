@@ -1,0 +1,15 @@
+(** Deterministic text generators standing in for the paper's "wiki" input:
+    natural-language-like byte strings with Zipf-distributed words, abundant
+    repeats (so lrs/sa have structure) and no zero bytes. *)
+
+val wiki : size:int -> seed:int -> string
+(** About [size] bytes of space-separated words drawn from a Zipfian
+    dictionary, with sentence punctuation. *)
+
+val periodic : size:int -> period:string -> string
+(** [period] repeated to [size] bytes — worst case for prefix doubling, with
+    a known longest repeated substring. *)
+
+val random_bytes : size:int -> seed:int -> alphabet:int -> string
+(** Uniform bytes over an [alphabet]-letter range starting at 'a'
+    ([alphabet <= 26]). *)

@@ -1,0 +1,58 @@
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let tokenize s =
+  let out = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && not (is_letter s.[!i]) do
+      incr i
+    done;
+    let start = !i in
+    while !i < n && is_letter s.[!i] do
+      incr i
+    done;
+    if !i > start then
+      out := String.lowercase_ascii (String.sub s start (!i - start)) :: !out
+  done;
+  Array.of_list (List.rev !out)
+
+let count pool s =
+  let words = tokenize s in
+  let n = Array.length words in
+  if n = 0 then [||]
+  else begin
+    let sorted = Rpb_parseq.Sort.sample_sort pool ~cmp:String.compare words in
+    (* Group boundaries: positions where the word changes. *)
+    let starts =
+      Rpb_parseq.Pack.pack_index pool
+        (fun i -> i = 0 || not (String.equal sorted.(i - 1) sorted.(i)))
+        n
+    in
+    let k = Array.length starts in
+    Rpb_core.Par_array.init pool k (fun j ->
+        let lo = starts.(j) in
+        let hi = if j + 1 < k then starts.(j + 1) else n in
+        (sorted.(lo), hi - lo))
+  end
+
+let count_seq s =
+  let words = tokenize s in
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun w ->
+      Hashtbl.replace tbl w (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w)))
+    words;
+  let out = Array.of_seq (Hashtbl.to_seq tbl) in
+  Array.sort (fun (a, _) (b, _) -> String.compare a b) out;
+  out
+
+let top_k pool ~k s =
+  let counts = count pool s in
+  let ranked =
+    Rpb_parseq.Sort.sample_sort pool
+      ~cmp:(fun (w1, c1) (w2, c2) ->
+        match compare c2 c1 with 0 -> String.compare w1 w2 | c -> c)
+      counts
+  in
+  Array.sub ranked 0 (min k (Array.length ranked))

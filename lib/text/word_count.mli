@@ -1,0 +1,19 @@
+(** Parallel word counting — PBBS's "word counts" benchmark shape, built on
+    the comparison-sort primitive: tokenize, sample-sort the tokens, then a
+    boundary scan yields each distinct word's count. *)
+
+open Rpb_pool
+
+val tokenize : string -> string array
+(** Maximal runs of ASCII letters, lowercased. *)
+
+val count : Pool.t -> string -> (string * int) array
+(** Distinct words of the text with their frequencies, sorted
+    lexicographically. *)
+
+val count_seq : string -> (string * int) array
+(** Hashtable-based sequential reference (same sorted output). *)
+
+val top_k : Pool.t -> k:int -> string -> (string * int) array
+(** The [k] most frequent words, most frequent first (ties
+    lexicographic). *)

@@ -1,0 +1,391 @@
+(* Tests for the "absent patterns" library: STM, futures, speculation,
+   pipelines, branch and bound, channels. *)
+
+open Rpb_extra
+open Rpb_pool
+
+let with_pool n f =
+  let pool = Pool.create ~num_workers:n () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ---------- Stm ---------- *)
+
+let test_stm_read_write () =
+  let v = Stm.tvar 5 in
+  Alcotest.(check int) "initial" 5 (Stm.get v);
+  Stm.set v 7;
+  Alcotest.(check int) "set" 7 (Stm.get v);
+  let doubled = Stm.atomically (fun tx ->
+      let x = Stm.read tx v in
+      Stm.write tx v (2 * x);
+      x)
+  in
+  Alcotest.(check int) "tx returns" 7 doubled;
+  Alcotest.(check int) "tx applied" 14 (Stm.get v)
+
+let test_stm_read_your_writes () =
+  let v = Stm.tvar 1 in
+  Stm.atomically (fun tx ->
+      Stm.write tx v 10;
+      Alcotest.(check int) "buffered read" 10 (Stm.read tx v);
+      Stm.write tx v 20);
+  Alcotest.(check int) "final" 20 (Stm.get v)
+
+let test_stm_multi_var_consistency () =
+  (* Transfer money between accounts from many domains: total conserved. *)
+  let accounts = Array.init 8 (fun _ -> Stm.tvar 1000) in
+  let transfers_per_domain = 2_000 in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let rng = Rpb_prim.Rng.create (50 + d) in
+            for _ = 1 to transfers_per_domain do
+              let a = Rpb_prim.Rng.int rng 8 in
+              let b = (a + 1 + Rpb_prim.Rng.int rng 7) mod 8 in
+              let amount = Rpb_prim.Rng.int rng 50 in
+              Stm.atomically (fun tx ->
+                  let xa = Stm.read tx accounts.(a) in
+                  let xb = Stm.read tx accounts.(b) in
+                  Stm.write tx accounts.(a) (xa - amount);
+                  Stm.write tx accounts.(b) (xb + amount))
+            done))
+  in
+  List.iter Domain.join ds;
+  let total = Array.fold_left (fun acc v -> acc + Stm.get v) 0 accounts in
+  Alcotest.(check int) "money conserved" 8000 total
+
+let test_stm_concurrent_counter () =
+  let c = Stm.tvar 0 in
+  let per = 5_000 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Stm.atomically (fun tx -> Stm.write tx c (Stm.read tx c + 1))
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (4 * per) (Stm.get c)
+
+let test_stm_user_abort () =
+  let v = Stm.tvar 3 in
+  (match Stm.atomically (fun tx ->
+       Stm.write tx v 99;
+       raise Stm.Abort)
+   with
+   | _ -> Alcotest.fail "abort must propagate"
+   | exception Stm.Abort -> ());
+  Alcotest.(check int) "write rolled back" 3 (Stm.get v)
+
+let test_stm_aborts_counted () =
+  (* With heavy contention some aborts must occur (sanity of the retry
+     machinery); with none, zero should be possible but we only check the
+     counters are monotone and consistent. *)
+  let c0, a0 = Stm.stats () in
+  let v = Stm.tvar 0 in
+  Stm.atomically (fun tx -> Stm.write tx v 1);
+  let c1, a1 = Stm.stats () in
+  Alcotest.(check bool) "commit counted" true (c1 > c0);
+  Alcotest.(check bool) "aborts monotone" true (a1 >= a0)
+
+(* ---------- Future ---------- *)
+
+let test_future_basic () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let f = Future.spawn pool (fun () -> 6 * 7) in
+          Alcotest.(check int) "get" 42 (Future.get pool f);
+          Alcotest.(check (option int)) "poll after" (Some 42) (Future.poll f);
+          Alcotest.(check int) "value" 5 (Future.get pool (Future.value 5))))
+
+let test_future_map_both () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let f = Future.spawn pool (fun () -> 10) in
+          let g = Future.map pool (fun x -> x + 1) f in
+          let h = Future.both pool g (Future.value "x") in
+          let a, b = Future.get pool h in
+          Alcotest.(check int) "mapped" 11 a;
+          Alcotest.(check string) "paired" "x" b))
+
+let test_future_non_strict_join () =
+  (* A future spawned by one task and awaited by a sibling — the non-strict
+     fork-join shape of Sec. 6. *)
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let shared = Future.spawn pool (fun () -> 21) in
+          let consumers =
+            List.init 4 (fun i ->
+                Pool.async pool (fun () -> (i + 1) * Future.get pool shared))
+          in
+          let total = List.fold_left (fun acc p -> acc + Pool.await pool p) 0 consumers in
+          Alcotest.(check int) "all consumers saw it" (21 * 10) total))
+
+let test_future_exception () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          let f = Future.spawn pool (fun () -> failwith "fut") in
+          Alcotest.check_raises "get re-raises" (Failure "fut") (fun () ->
+              ignore (Future.get pool f))))
+
+(* ---------- Speculate ---------- *)
+
+let test_speculate_select () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let x =
+            Speculate.select pool ~guard:(fun () -> true) (fun () -> "then")
+              (fun () -> "else")
+          in
+          Alcotest.(check string) "guard true" "then" x;
+          let x =
+            Speculate.select pool ~guard:(fun () -> false) (fun () -> "then")
+              (fun () -> "else")
+          in
+          Alcotest.(check string) "guard false" "else" x))
+
+let test_speculate_first_some () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let r =
+            Speculate.first_some pool
+              [ (fun () -> None); (fun () -> Some 7); (fun () -> None) ]
+          in
+          Alcotest.(check (option int)) "finds the some" (Some 7) r;
+          let r = Speculate.first_some pool [ (fun () -> None); (fun () -> None) ] in
+          Alcotest.(check (option int)) "all decline" None r;
+          let r = Speculate.first_some pool ([] : (unit -> int option) list) in
+          Alcotest.(check (option int)) "empty" None r))
+
+let test_speculate_fastest () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let slow () =
+            Unix.sleepf 0.02;
+            1
+          in
+          let fast () = 1 in
+          Alcotest.(check int) "same answer either way" 1
+            (Speculate.fastest pool [ slow; fast ])))
+
+(* ---------- Channel ---------- *)
+
+let test_channel_fifo () =
+  let ch = Channel.create ~capacity:4 in
+  Channel.send ch 1;
+  Channel.send ch 2;
+  Alcotest.(check int) "length" 2 (Channel.length ch);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Channel.recv ch);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Channel.recv ch);
+  Channel.close ch;
+  Alcotest.(check (option int)) "closed" None (Channel.recv ch)
+
+let test_channel_send_after_close () =
+  let ch = Channel.create ~capacity:2 in
+  Channel.close ch;
+  Channel.close ch (* idempotent *);
+  match Channel.send ch 1 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "send after close must fail"
+
+let test_channel_producer_consumer () =
+  let ch = Channel.create ~capacity:8 in
+  let n = 20_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Channel.send ch i
+        done;
+        Channel.close ch)
+  in
+  let total = ref 0 in
+  let rec drain () =
+    match Channel.recv ch with
+    | Some x ->
+      total := !total + x;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check int) "all received (backpressure works)" (n * (n + 1) / 2) !total
+
+let test_channel_multi_producer_multi_consumer () =
+  let ch = Channel.create ~capacity:4 in
+  let n_per = 5_000 and np = 3 and nc = 2 in
+  let producers =
+    List.init np (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to n_per - 1 do
+              Channel.send ch ((d * n_per) + i)
+            done))
+  in
+  let seen = Rpb_prim.Atomic_array.make (np * n_per) 0 in
+  let consumers =
+    List.init nc (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Channel.recv ch with
+              | Some x ->
+                ignore (Rpb_prim.Atomic_array.fetch_and_add seen x 1);
+                go ()
+              | None -> ()
+            in
+            go ()))
+  in
+  List.iter Domain.join producers;
+  Channel.close ch;
+  List.iter Domain.join consumers;
+  let bad = ref 0 in
+  for i = 0 to (np * n_per) - 1 do
+    if Rpb_prim.Atomic_array.get seen i <> 1 then incr bad
+  done;
+  Alcotest.(check int) "each exactly once" 0 !bad
+
+(* ---------- Pipeline ---------- *)
+
+let test_pipeline_identity_order () =
+  let p = Pipeline.(stage Fun.id >>> stage Fun.id) in
+  Alcotest.(check int) "stages" 2 (Pipeline.stages p);
+  let input = Array.init 1000 Fun.id in
+  let out = Pipeline.run p input in
+  Alcotest.(check bool) "order preserved" true (out = input)
+
+let test_pipeline_heterogeneous () =
+  let p =
+    Pipeline.(
+      stage string_of_int >>> stage (fun s -> s ^ "!") >>> stage String.length)
+  in
+  let out = Pipeline.run p [| 1; 22; 333 |] in
+  Alcotest.(check bool) "types flow through" true (out = [| 2; 3; 4 |])
+
+let test_pipeline_empty_input () =
+  let p = Pipeline.stage succ in
+  Alcotest.(check bool) "empty" true (Pipeline.run p [||] = [||])
+
+let test_pipeline_exception_propagates () =
+  let p =
+    Pipeline.(
+      stage succ >>> stage (fun x -> if x = 50 then failwith "stage boom" else x))
+  in
+  match Pipeline.run p (Array.init 100 Fun.id) with
+  | _ -> Alcotest.fail "must raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "stage boom" msg
+
+let test_pipeline_small_capacity_backpressure () =
+  let p = Pipeline.(stage succ >>> stage succ >>> stage succ) in
+  let input = Array.init 5_000 Fun.id in
+  let out = Pipeline.run ~queue_capacity:1 p input in
+  Alcotest.(check bool) "capacity-1 survives" true
+    (out = Array.map (fun x -> x + 3) input)
+
+(* ---------- Branch and bound ---------- *)
+
+let test_bnb_knapsack_matches_dp () =
+  with_pool 4 (fun pool ->
+      Pool.run pool (fun () ->
+          List.iter
+            (fun seed ->
+              let items, capacity = Branch_bound.Knapsack.random_instance ~n:24 ~seed in
+              let expected = Branch_bound.Knapsack.solve_dp items ~capacity in
+              let got =
+                Branch_bound.maximize pool
+                  (Branch_bound.Knapsack.problem items ~capacity)
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "seed %d optimum" seed)
+                expected got)
+            [ 1; 2; 3; 4; 5 ]))
+
+let test_bnb_deterministic_result () =
+  with_pool 4 (fun pool ->
+      Pool.run pool (fun () ->
+          let items, capacity = Branch_bound.Knapsack.random_instance ~n:22 ~seed:9 in
+          let p = Branch_bound.Knapsack.problem items ~capacity in
+          let a = Branch_bound.maximize pool p in
+          let b = Branch_bound.maximize pool p in
+          Alcotest.(check int) "same optimum across runs" a b))
+
+let test_bnb_trivial_instances () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          (* Zero capacity: nothing fits. *)
+          let items = [| Branch_bound.Knapsack.{ weight = 5; profit = 10 } |] in
+          Alcotest.(check int) "zero capacity" 0
+            (Branch_bound.maximize pool
+               (Branch_bound.Knapsack.problem items ~capacity:0));
+          (* Everything fits. *)
+          let items =
+            [|
+              Branch_bound.Knapsack.{ weight = 1; profit = 3 };
+              Branch_bound.Knapsack.{ weight = 1; profit = 4 };
+            |]
+          in
+          Alcotest.(check int) "all fit" 7
+            (Branch_bound.maximize pool
+               (Branch_bound.Knapsack.problem items ~capacity:10))))
+
+let prop_bnb_matches_dp =
+  QCheck.Test.make ~name:"B&B = DP on random knapsacks" ~count:10
+    QCheck.small_nat
+    (fun seed ->
+      with_pool 3 (fun pool ->
+          Pool.run pool (fun () ->
+              let items, capacity =
+                Branch_bound.Knapsack.random_instance ~n:18 ~seed
+              in
+              Branch_bound.maximize pool
+                (Branch_bound.Knapsack.problem items ~capacity)
+              = Branch_bound.Knapsack.solve_dp items ~capacity)))
+
+let () =
+  Alcotest.run "rpb_extra"
+    [
+      ( "stm",
+        [
+          Alcotest.test_case "read/write" `Quick test_stm_read_write;
+          Alcotest.test_case "read your writes" `Quick test_stm_read_your_writes;
+          Alcotest.test_case "multi-var consistency" `Quick
+            test_stm_multi_var_consistency;
+          Alcotest.test_case "concurrent counter" `Quick test_stm_concurrent_counter;
+          Alcotest.test_case "user abort" `Quick test_stm_user_abort;
+          Alcotest.test_case "stats" `Quick test_stm_aborts_counted;
+        ] );
+      ( "future",
+        [
+          Alcotest.test_case "basic" `Quick test_future_basic;
+          Alcotest.test_case "map/both" `Quick test_future_map_both;
+          Alcotest.test_case "non-strict join" `Quick test_future_non_strict_join;
+          Alcotest.test_case "exception" `Quick test_future_exception;
+        ] );
+      ( "speculate",
+        [
+          Alcotest.test_case "select" `Quick test_speculate_select;
+          Alcotest.test_case "first_some" `Quick test_speculate_first_some;
+          Alcotest.test_case "fastest" `Quick test_speculate_fastest;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "fifo" `Quick test_channel_fifo;
+          Alcotest.test_case "send after close" `Quick test_channel_send_after_close;
+          Alcotest.test_case "producer/consumer" `Quick
+            test_channel_producer_consumer;
+          Alcotest.test_case "mpmc" `Quick test_channel_multi_producer_multi_consumer;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "identity/order" `Quick test_pipeline_identity_order;
+          Alcotest.test_case "heterogeneous" `Quick test_pipeline_heterogeneous;
+          Alcotest.test_case "empty input" `Quick test_pipeline_empty_input;
+          Alcotest.test_case "exception" `Quick test_pipeline_exception_propagates;
+          Alcotest.test_case "backpressure" `Quick
+            test_pipeline_small_capacity_backpressure;
+        ] );
+      ( "branch_bound",
+        [
+          Alcotest.test_case "knapsack = DP" `Quick test_bnb_knapsack_matches_dp;
+          Alcotest.test_case "deterministic" `Quick test_bnb_deterministic_result;
+          Alcotest.test_case "trivial" `Quick test_bnb_trivial_instances;
+          QCheck_alcotest.to_alcotest prop_bnb_matches_dp;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+(* Tests for the binary heap and the MultiQueue relaxed priority scheduler. *)
+
+open Rpb_mq
+
+(* ---------- Binary_heap ---------- *)
+
+let test_heap_ordering () =
+  let h = Binary_heap.create () in
+  List.iter (fun p -> Binary_heap.push h ~pri:p (p * 10)) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check int) "size" 5 (Binary_heap.size h);
+  let drained = Binary_heap.to_sorted_list h in
+  Alcotest.(check (list (pair int int)))
+    "priority order"
+    [ (1, 10); (2, 20); (3, 30); (4, 40); (5, 50) ]
+    drained;
+  Alcotest.(check bool) "empty after drain" true (Binary_heap.is_empty h)
+
+let test_heap_peek () =
+  let h = Binary_heap.create () in
+  Alcotest.(check (option (pair int int))) "peek empty" None (Binary_heap.peek_min h);
+  Binary_heap.push h ~pri:7 70;
+  Binary_heap.push h ~pri:3 30;
+  Alcotest.(check (option (pair int int))) "peek" (Some (3, 30)) (Binary_heap.peek_min h);
+  Alcotest.(check int) "peek does not remove" 2 (Binary_heap.size h)
+
+let test_heap_duplicate_priorities () =
+  let h = Binary_heap.create () in
+  List.iter (fun v -> Binary_heap.push h ~pri:1 v) [ 100; 200; 300 ];
+  let vs = List.map snd (Binary_heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "all values present" [ 100; 200; 300 ]
+    (List.sort compare vs)
+
+let test_heap_growth () =
+  let h = Binary_heap.create ~capacity:2 () in
+  for i = 999 downto 0 do
+    Binary_heap.push h ~pri:i i
+  done;
+  Alcotest.(check int) "size" 1000 (Binary_heap.size h);
+  let sorted = Binary_heap.to_sorted_list h in
+  Alcotest.(check int) "drained" 1000 (List.length sorted);
+  Alcotest.(check bool) "ordered" true
+    (List.for_all2 (fun (p, v) i -> p = i && v = i) sorted (List.init 1000 Fun.id))
+
+let prop_heap_matches_sorted =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:50
+    QCheck.(list (int_bound 1000))
+    (fun ps ->
+      let h = Binary_heap.create () in
+      List.iter (fun p -> Binary_heap.push h ~pri:p p) ps;
+      let drained = List.map fst (Binary_heap.to_sorted_list h) in
+      drained = List.sort compare ps)
+
+(* ---------- Multiqueue ---------- *)
+
+let test_mq_push_pop_single_lane () =
+  let q = Multiqueue.create ~queues:1 () in
+  Multiqueue.push q ~pri:5 50;
+  Multiqueue.push q ~pri:1 10;
+  Alcotest.(check (option (pair int int))) "exact min on 1 lane" (Some (1, 10))
+    (Multiqueue.pop q);
+  Alcotest.(check (option (pair int int))) "next" (Some (5, 50)) (Multiqueue.pop q);
+  Alcotest.(check (option (pair int int))) "empty" None (Multiqueue.pop q)
+
+let test_mq_no_loss_no_dup_sequential () =
+  let q = Multiqueue.create ~queues:8 () in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    Multiqueue.push q ~pri:i i
+  done;
+  Alcotest.(check int) "size" n (Multiqueue.size q);
+  let seen = Array.make n 0 in
+  let rec drain () =
+    match Multiqueue.pop q with
+    | Some (_, v) ->
+      seen.(v) <- seen.(v) + 1;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check bool) "each exactly once" true (Array.for_all (fun c -> c = 1) seen);
+  Alcotest.(check bool) "empty" true (Multiqueue.is_empty q)
+
+let test_mq_relaxed_rank_quality () =
+  (* Pops must be approximately ordered: with best-of-two on 4 lanes the
+     average inversion distance is small.  We assert a loose bound to avoid
+     flakiness while still catching a broken (e.g. LIFO) implementation. *)
+  let q = Multiqueue.create ~queues:4 () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    Multiqueue.push q ~pri:i i
+  done;
+  let displacement = ref 0 in
+  for k = 0 to n - 1 do
+    match Multiqueue.pop q with
+    | Some (p, _) -> displacement := !displacement + abs (p - k)
+    | None -> Alcotest.fail "premature empty"
+  done;
+  let avg = float_of_int !displacement /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "average rank error small (%.1f)" avg)
+    true (avg < 64.0)
+
+let test_mq_concurrent_producers_consumers () =
+  let q = Multiqueue.create ~queues:8 () in
+  let n_per = 5_000 and nprod = 3 in
+  let total = n_per * nprod in
+  let seen = Rpb_prim.Atomic_array.make total 0 in
+  let producers_done = Atomic.make 0 in
+  let consumed = Atomic.make 0 in
+  let producers =
+    List.init nprod (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to n_per - 1 do
+              let v = (d * n_per) + i in
+              Multiqueue.push q ~pri:(Rpb_prim.Rng.hash64 v mod 1000) v
+            done;
+            Atomic.incr producers_done))
+  in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec go () =
+              match Multiqueue.pop q with
+              | Some (_, v) ->
+                ignore (Rpb_prim.Atomic_array.fetch_and_add seen v 1);
+                Atomic.incr consumed;
+                go ()
+              | None ->
+                if Atomic.get producers_done < nprod || Atomic.get consumed < total
+                then begin
+                  Domain.cpu_relax ();
+                  if Atomic.get consumed < total then go ()
+                end
+            in
+            go ()))
+  in
+  List.iter Domain.join producers;
+  List.iter Domain.join consumers;
+  let bad = ref 0 in
+  for v = 0 to total - 1 do
+    if Rpb_prim.Atomic_array.get seen v <> 1 then incr bad
+  done;
+  Alcotest.(check int) "exactly once across domains" 0 !bad
+
+(* ---------- Scheduler ---------- *)
+
+let test_scheduler_drains_transitive_work () =
+  (* Each task with value v > 0 spawns v-1; counts all executions. *)
+  let q = Multiqueue.create ~queues:4 () in
+  let s = Multiqueue.Scheduler.create q in
+  let executed = Atomic.make 0 in
+  Multiqueue.Scheduler.push s ~pri:0 6;
+  Multiqueue.Scheduler.run s ~num_workers:3 ~handler:(fun s ~pri:_ v ->
+      Atomic.incr executed;
+      if v > 1 then Multiqueue.Scheduler.push s ~pri:0 (v - 1));
+  (* 6 -> 5 -> ... -> 1: six executions. *)
+  Alcotest.(check int) "chain executed" 6 (Atomic.get executed);
+  Alcotest.(check bool) "queue drained" true (Multiqueue.is_empty q)
+
+let test_scheduler_fanout () =
+  let q = Multiqueue.create ~queues:8 () in
+  let s = Multiqueue.Scheduler.create q in
+  let executed = Atomic.make 0 in
+  (* A binary fan-out tree of depth 10: 2^11 - 1 tasks. *)
+  Multiqueue.Scheduler.push s ~pri:0 10;
+  Multiqueue.Scheduler.run s ~num_workers:4 ~handler:(fun s ~pri:_ depth ->
+      Atomic.incr executed;
+      if depth > 0 then begin
+        Multiqueue.Scheduler.push s ~pri:depth (depth - 1);
+        Multiqueue.Scheduler.push s ~pri:depth (depth - 1)
+      end);
+  Alcotest.(check int) "tree size" ((1 lsl 11) - 1) (Atomic.get executed)
+
+let test_scheduler_propagates_exception () =
+  let q = Multiqueue.create ~queues:2 () in
+  let s = Multiqueue.Scheduler.create q in
+  Multiqueue.Scheduler.push s ~pri:0 1;
+  Alcotest.check_raises "handler failure" (Failure "task boom") (fun () ->
+      Multiqueue.Scheduler.run s ~num_workers:2 ~handler:(fun _ ~pri:_ _ ->
+          failwith "task boom"))
+
+let test_scheduler_single_worker () =
+  let q = Multiqueue.create ~queues:2 () in
+  let s = Multiqueue.Scheduler.create q in
+  let acc = ref 0 in
+  for i = 1 to 10 do
+    Multiqueue.Scheduler.push s ~pri:i i
+  done;
+  Multiqueue.Scheduler.run s ~num_workers:1 ~handler:(fun _ ~pri:_ v -> acc := !acc + v);
+  Alcotest.(check int) "all handled" 55 !acc
+
+let () =
+  Alcotest.run "rpb_mq"
+    [
+      ( "binary_heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "duplicate priorities" `Quick
+            test_heap_duplicate_priorities;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          QCheck_alcotest.to_alcotest prop_heap_matches_sorted;
+        ] );
+      ( "multiqueue",
+        [
+          Alcotest.test_case "single lane exact" `Quick test_mq_push_pop_single_lane;
+          Alcotest.test_case "no loss/dup" `Quick test_mq_no_loss_no_dup_sequential;
+          Alcotest.test_case "rank quality" `Quick test_mq_relaxed_rank_quality;
+          Alcotest.test_case "concurrent producers/consumers" `Quick
+            test_mq_concurrent_producers_consumers;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "transitive drain" `Quick
+            test_scheduler_drains_transitive_work;
+          Alcotest.test_case "fanout tree" `Quick test_scheduler_fanout;
+          Alcotest.test_case "exception propagates" `Quick
+            test_scheduler_propagates_exception;
+          Alcotest.test_case "single worker" `Quick test_scheduler_single_worker;
+        ] );
+    ]

@@ -1,0 +1,317 @@
+(* Tests for the work-stealing deque and the fork-join pool. *)
+
+open Rpb_pool
+
+let with_pool n f =
+  let pool = Pool.create ~num_workers:n () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ---------- Ws_deque ---------- *)
+
+let test_deque_lifo_owner () =
+  let d = Ws_deque.create () in
+  Alcotest.(check bool) "empty" true (Ws_deque.is_empty d);
+  Ws_deque.push d 1;
+  Ws_deque.push d 2;
+  Ws_deque.push d 3;
+  Alcotest.(check int) "size" 3 (Ws_deque.size d);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "pop empty" None (Ws_deque.pop d)
+
+let test_deque_fifo_thief () =
+  let d = Ws_deque.create () in
+  for i = 1 to 5 do Ws_deque.push d i done;
+  Alcotest.(check (option int)) "steal 1" (Some 1) (Ws_deque.steal d);
+  Alcotest.(check (option int)) "steal 2" (Some 2) (Ws_deque.steal d);
+  Alcotest.(check (option int)) "pop 5" (Some 5) (Ws_deque.pop d)
+
+let test_deque_growth () =
+  let d = Ws_deque.create ~capacity:2 () in
+  let n = 1000 in
+  for i = 0 to n - 1 do Ws_deque.push d i done;
+  Alcotest.(check int) "size" n (Ws_deque.size d);
+  for i = n - 1 downto 0 do
+    Alcotest.(check (option int)) "pop order" (Some i) (Ws_deque.pop d)
+  done
+
+let test_deque_interleaved () =
+  let d = Ws_deque.create ~capacity:4 () in
+  (* Push/pop/steal interleaving that forces wraparound. *)
+  for round = 0 to 99 do
+    Ws_deque.push d (2 * round);
+    Ws_deque.push d ((2 * round) + 1);
+    (match Ws_deque.steal d with
+     | Some _ -> ()
+     | None -> Alcotest.fail "steal should succeed");
+    match Ws_deque.pop d with
+    | Some _ -> ()
+    | None -> Alcotest.fail "pop should succeed"
+  done;
+  Alcotest.(check bool) "drained" true (Ws_deque.is_empty d)
+
+(* Concurrent correctness: every pushed element is consumed exactly once,
+   whether by the owner's pops or by thieves' steals. *)
+let test_deque_concurrent_no_dup_no_loss () =
+  let d = Ws_deque.create () in
+  let n = 50_000 in
+  let consumed = Rpb_prim.Atomic_array.make n 0 in
+  let thieves_done = Atomic.make 0 in
+  let num_thieves = 3 in
+  let thief () =
+    Domain.spawn (fun () ->
+        let rec go () =
+          match Ws_deque.steal d with
+          | Some x ->
+            ignore (Rpb_prim.Atomic_array.fetch_and_add consumed x 1);
+            go ()
+          | None ->
+            if Atomic.get thieves_done = 0 then begin
+              Domain.cpu_relax ();
+              go ()
+            end
+        in
+        go ())
+  in
+  let ds = List.init num_thieves (fun _ -> thief ()) in
+  (* Owner: pushes everything, interleaving pops. *)
+  for i = 0 to n - 1 do
+    Ws_deque.push d i;
+    if i land 3 = 0 then
+      match Ws_deque.pop d with
+      | Some x -> ignore (Rpb_prim.Atomic_array.fetch_and_add consumed x 1)
+      | None -> ()
+  done;
+  (* Owner drains the rest. *)
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some x ->
+      ignore (Rpb_prim.Atomic_array.fetch_and_add consumed x 1);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set thieves_done 1;
+  List.iter Domain.join ds;
+  let bad = ref 0 in
+  for i = 0 to n - 1 do
+    if Rpb_prim.Atomic_array.get consumed i <> 1 then incr bad
+  done;
+  Alcotest.(check int) "each element consumed exactly once" 0 !bad
+
+(* ---------- Pool ---------- *)
+
+let test_pool_run_returns () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check int) "result" 42 (Pool.run pool (fun () -> 42)))
+
+let test_pool_async_await () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let p = Pool.async pool (fun () -> 6 * 7) in
+          Alcotest.(check int) "await" 42 (Pool.await pool p)))
+
+let test_pool_join () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          let a, b = Pool.join pool (fun () -> "left") (fun () -> "right") in
+          Alcotest.(check string) "left" "left" a;
+          Alcotest.(check string) "right" "right" b))
+
+let test_pool_exception_propagates () =
+  with_pool 2 (fun pool ->
+      Alcotest.check_raises "exn from task" (Failure "boom") (fun () ->
+          Pool.run pool (fun () ->
+              let p = Pool.async pool (fun () -> failwith "boom") in
+              Pool.await pool p)))
+
+let test_pool_parallel_for_covers_range () =
+  with_pool 4 (fun pool ->
+      let n = 10_000 in
+      let hits = Rpb_prim.Atomic_array.make n 0 in
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~start:0 ~finish:n
+            ~body:(fun i -> ignore (Rpb_prim.Atomic_array.fetch_and_add hits i 1))
+            pool);
+      let bad = ref 0 in
+      for i = 0 to n - 1 do
+        if Rpb_prim.Atomic_array.get hits i <> 1 then incr bad
+      done;
+      Alcotest.(check int) "each index exactly once" 0 !bad)
+
+let test_pool_parallel_for_empty_range () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~start:5 ~finish:5
+            ~body:(fun _ -> Alcotest.fail "body must not run")
+            pool;
+          Pool.parallel_for ~start:5 ~finish:3
+            ~body:(fun _ -> Alcotest.fail "body must not run")
+            pool))
+
+let test_pool_parallel_for_reduce_sum () =
+  with_pool 4 (fun pool ->
+      let n = 100_000 in
+      let total =
+        Pool.run pool (fun () ->
+            Pool.parallel_for_reduce ~start:0 ~finish:n ~body:Fun.id
+              ~combine:( + ) ~init:0 pool)
+      in
+      Alcotest.(check int) "gauss sum" (n * (n - 1) / 2) total)
+
+let test_pool_parallel_for_reduce_grain1 () =
+  with_pool 2 (fun pool ->
+      let total =
+        Pool.run pool (fun () ->
+            Pool.parallel_for_reduce ~grain:1 ~start:0 ~finish:64
+              ~body:Fun.id ~combine:( + ) ~init:0 pool)
+      in
+      Alcotest.(check int) "sum with grain 1" (64 * 63 / 2) total)
+
+let test_pool_parallel_chunks_partition () =
+  with_pool 3 (fun pool ->
+      let n = 1003 in
+      let seen = Rpb_prim.Atomic_array.make n 0 in
+      Pool.run pool (fun () ->
+          Pool.parallel_chunks ~grain:64 ~start:0 ~finish:n
+            ~body:(fun lo hi ->
+              Alcotest.(check bool) "nonempty chunk" true (lo < hi);
+              for i = lo to hi - 1 do
+                ignore (Rpb_prim.Atomic_array.fetch_and_add seen i 1)
+              done)
+            pool);
+      for i = 0 to n - 1 do
+        if Rpb_prim.Atomic_array.get seen i <> 1 then
+          Alcotest.failf "index %d covered %d times" i
+            (Rpb_prim.Atomic_array.get seen i)
+      done)
+
+let test_pool_nested_parallel_for () =
+  with_pool 4 (fun pool ->
+      let n = 64 in
+      let acc = Rpb_prim.Atomic_array.make 1 0 in
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~start:0 ~finish:n
+            ~body:(fun _ ->
+              Pool.parallel_for ~start:0 ~finish:n
+                ~body:(fun _ ->
+                  ignore (Rpb_prim.Atomic_array.fetch_and_add acc 0 1))
+                pool)
+            pool);
+      Alcotest.(check int) "nested count" (n * n) (Rpb_prim.Atomic_array.get acc 0))
+
+let test_pool_recursive_fib () =
+  (* Divide-and-conquer through rayon-style join (paper Listing 9 shape). *)
+  with_pool 4 (fun pool ->
+      let rec fib n =
+        if n < 2 then n
+        else if n < 10 then fib (n - 1) + fib (n - 2)
+        else
+          let a, b =
+            Pool.join pool (fun () -> fib (n - 1)) (fun () -> fib (n - 2))
+          in
+          a + b
+      in
+      let x = Pool.run pool (fun () -> fib 20) in
+      Alcotest.(check int) "fib 20" 6765 x)
+
+let test_pool_single_worker_sequential () =
+  with_pool 1 (fun pool ->
+      let n = 1000 in
+      let acc = ref 0 in
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~start:0 ~finish:n ~body:(fun i -> acc := !acc + i) pool);
+      Alcotest.(check int) "sequential fallback" (n * (n - 1) / 2) !acc)
+
+let test_pool_outside_run_sequential () =
+  with_pool 2 (fun pool ->
+      (* join outside run degrades to sequential execution. *)
+      let a, b = Pool.join pool (fun () -> 1) (fun () -> 2) in
+      Alcotest.(check (pair int int)) "outside join" (1, 2) (a, b))
+
+let test_pool_current_worker () =
+  with_pool 2 (fun pool ->
+      Alcotest.(check (option int)) "outside" None (Pool.current_worker pool);
+      Pool.run pool (fun () ->
+          Alcotest.(check (option int)) "inside" (Some 0) (Pool.current_worker pool)))
+
+let test_pool_reuse_after_run () =
+  with_pool 2 (fun pool ->
+      for round = 1 to 5 do
+        let x = Pool.run pool (fun () -> round * 2) in
+        Alcotest.(check int) "round result" (round * 2) x
+      done)
+
+let test_pool_shutdown_rejects () =
+  let pool = Pool.create ~num_workers:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "run after shutdown" Pool.Shutdown (fun () ->
+      ignore (Pool.run pool (fun () -> 0)))
+
+let test_pool_many_small_tasks () =
+  with_pool 4 (fun pool ->
+      let n = 2000 in
+      Pool.run pool (fun () ->
+          let ps = List.init n (fun i -> Pool.async pool (fun () -> i)) in
+          let total = List.fold_left (fun acc p -> acc + Pool.await pool p) 0 ps in
+          Alcotest.(check int) "all tasks ran" (n * (n - 1) / 2) total))
+
+let prop_parallel_reduce_matches_sequential =
+  QCheck.Test.make ~name:"parallel_for_reduce = sequential fold" ~count:20
+    QCheck.(list small_int)
+    (fun xs ->
+      let a = Array.of_list xs in
+      with_pool 3 (fun pool ->
+          let expected = Array.fold_left ( + ) 0 a in
+          let got =
+            Pool.run pool (fun () ->
+                Pool.parallel_for_reduce ~grain:2 ~start:0
+                  ~finish:(Array.length a)
+                  ~body:(fun i -> a.(i))
+                  ~combine:( + ) ~init:0 pool)
+          in
+          expected = got))
+
+let () =
+  Alcotest.run "rpb_pool"
+    [
+      ( "ws_deque",
+        [
+          Alcotest.test_case "owner LIFO" `Quick test_deque_lifo_owner;
+          Alcotest.test_case "thief FIFO" `Quick test_deque_fifo_thief;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "interleaved wraparound" `Quick test_deque_interleaved;
+          Alcotest.test_case "concurrent exactly-once" `Quick
+            test_deque_concurrent_no_dup_no_loss;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "run returns" `Quick test_pool_run_returns;
+          Alcotest.test_case "async/await" `Quick test_pool_async_await;
+          Alcotest.test_case "join" `Quick test_pool_join;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "parallel_for coverage" `Quick
+            test_pool_parallel_for_covers_range;
+          Alcotest.test_case "parallel_for empty" `Quick
+            test_pool_parallel_for_empty_range;
+          Alcotest.test_case "reduce sum" `Quick test_pool_parallel_for_reduce_sum;
+          Alcotest.test_case "reduce grain 1" `Quick
+            test_pool_parallel_for_reduce_grain1;
+          Alcotest.test_case "chunks partition" `Quick
+            test_pool_parallel_chunks_partition;
+          Alcotest.test_case "nested parallel_for" `Quick
+            test_pool_nested_parallel_for;
+          Alcotest.test_case "recursive fib join" `Quick test_pool_recursive_fib;
+          Alcotest.test_case "single worker" `Quick
+            test_pool_single_worker_sequential;
+          Alcotest.test_case "outside run" `Quick test_pool_outside_run_sequential;
+          Alcotest.test_case "current_worker" `Quick test_pool_current_worker;
+          Alcotest.test_case "reuse across runs" `Quick test_pool_reuse_after_run;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
+          Alcotest.test_case "many small tasks" `Quick test_pool_many_small_tasks;
+          QCheck_alcotest.to_alcotest prop_parallel_reduce_matches_sequential;
+        ] );
+    ]

@@ -1,0 +1,228 @@
+(* Unit and property tests for the rpb_prim substrate. *)
+
+open Rpb_prim
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_rng_int_range () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_rng_float_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r 3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let clash = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.next a = Rng.next b then incr clash
+  done;
+  Alcotest.(check bool) "split streams differ" true (!clash < 4)
+
+let test_hash64_nonnegative_and_spread () =
+  let seen = Hashtbl.create 1024 in
+  for i = 0 to 9999 do
+    let h = Rng.hash64 i in
+    Alcotest.(check bool) "non-negative" true (h >= 0);
+    Hashtbl.replace seen h ()
+  done;
+  (* 10k inputs should produce essentially 10k distinct hashes. *)
+  Alcotest.(check bool) "few collisions" true (Hashtbl.length seen > 9990)
+
+let test_hash64_stateless () =
+  Alcotest.(check int) "pure" (Rng.hash64 123456) (Rng.hash64 123456)
+
+let test_exponential_mean () =
+  let r = Rng.create 11 in
+  let n = 20000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Rng.exponential_int r ~mean:100
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~100 (got %.1f)" mean)
+    true
+    (mean > 80.0 && mean < 120.0)
+
+let test_permutation () =
+  let r = Rng.create 3 in
+  let p = Rng.permutation r 100 in
+  let seen = Array.make 100 false in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "in range" true (x >= 0 && x < 100);
+      Alcotest.(check bool) "no dup" false seen.(x);
+      seen.(x) <- true)
+    p
+
+let test_atomic_array_basic () =
+  let a = Atomic_array.make 10 5 in
+  Alcotest.(check int) "len" 10 (Atomic_array.length a);
+  Alcotest.(check int) "init" 5 (Atomic_array.get a 3);
+  Atomic_array.set a 3 9;
+  Alcotest.(check int) "set" 9 (Atomic_array.get a 3);
+  Alcotest.(check bool) "cas ok" true (Atomic_array.compare_and_set a 3 9 11);
+  Alcotest.(check bool) "cas stale" false (Atomic_array.compare_and_set a 3 9 13);
+  Alcotest.(check int) "after cas" 11 (Atomic_array.get a 3)
+
+let test_atomic_array_fetch_ops () =
+  let a = Atomic_array.init 4 (fun i -> i * 10) in
+  Alcotest.(check int) "faa returns old" 20 (Atomic_array.fetch_and_add a 2 5);
+  Alcotest.(check int) "faa applied" 25 (Atomic_array.get a 2);
+  Alcotest.(check int) "fetch_min old" 25 (Atomic_array.fetch_min a 2 7);
+  Alcotest.(check int) "fetch_min applied" 7 (Atomic_array.get a 2);
+  Alcotest.(check int) "fetch_min noop" 7 (Atomic_array.fetch_min a 2 100);
+  Alcotest.(check int) "unchanged" 7 (Atomic_array.get a 2);
+  Alcotest.(check int) "fetch_max old" 7 (Atomic_array.fetch_max a 2 50);
+  Alcotest.(check int) "fetch_max applied" 50 (Atomic_array.get a 2)
+
+let test_atomic_array_parallel_counter () =
+  (* Concurrent fetch_and_add from 4 domains must not lose increments. *)
+  let a = Atomic_array.make 1 0 in
+  let per_domain = 10_000 in
+  let spawn () =
+    Domain.spawn (fun () ->
+        for _ = 1 to per_domain do
+          ignore (Atomic_array.fetch_and_add a 0 1)
+        done)
+  in
+  let ds = List.init 4 (fun _ -> spawn ()) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" (4 * per_domain) (Atomic_array.get a 0)
+
+let test_atomic_array_parallel_fetch_min () =
+  let a = Atomic_array.make 1 max_int in
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let r = Rng.create (100 + d) in
+            for _ = 1 to 5_000 do
+              ignore (Atomic_array.fetch_min a 0 (Rng.int r 1_000_000))
+            done))
+  in
+  List.iter Domain.join ds;
+  (* The final value must be achievable: recompute the true min. *)
+  let expected = ref max_int in
+  List.iteri
+    (fun d () ->
+      let r = Rng.create (100 + d) in
+      for _ = 1 to 5_000 do
+        expected := min !expected (Rng.int r 1_000_000)
+      done)
+    [ (); (); (); () ];
+  Alcotest.(check int) "true minimum" !expected (Atomic_array.get a 0)
+
+let test_util_ceil_div () =
+  Alcotest.(check int) "7/2" 4 (Util.ceil_div 7 2);
+  Alcotest.(check int) "8/2" 4 (Util.ceil_div 8 2);
+  Alcotest.(check int) "0/5" 0 (Util.ceil_div 0 5);
+  Alcotest.(check int) "1/5" 1 (Util.ceil_div 1 5)
+
+let test_util_pow2 () =
+  Alcotest.(check int) "1" 1 (Util.ceil_pow2 1);
+  Alcotest.(check int) "2" 2 (Util.ceil_pow2 2);
+  Alcotest.(check int) "3" 4 (Util.ceil_pow2 3);
+  Alcotest.(check int) "1000" 1024 (Util.ceil_pow2 1000);
+  Alcotest.(check int) "log2 1" 0 (Util.ilog2 1);
+  Alcotest.(check int) "log2 1024" 10 (Util.ilog2 1024);
+  Alcotest.(check int) "log2 1023" 9 (Util.ilog2 1023)
+
+let test_util_sorted () =
+  Alcotest.(check bool) "sorted" true (Util.is_sorted [| 1; 2; 2; 3 |]);
+  Alcotest.(check bool) "unsorted" false (Util.is_sorted [| 1; 3; 2 |]);
+  Alcotest.(check bool) "empty" true (Util.is_sorted ([||] : int array));
+  Alcotest.(check bool) "strict" true (Util.is_strictly_increasing [| 1; 2; 3 |]);
+  Alcotest.(check bool) "not strict" false (Util.is_strictly_increasing [| 1; 2; 2 |])
+
+let test_timing () =
+  let x, dt = Timing.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "non-negative" true (dt >= 0.0);
+  let x, dt = Timing.best_of ~repeats:3 (fun () -> 7) in
+  Alcotest.(check int) "best_of result" 7 x;
+  Alcotest.(check bool) "best_of time" true (dt >= 0.0);
+  let x, dt = Timing.mean_of ~repeats:3 (fun () -> 9) in
+  Alcotest.(check int) "mean_of result" 9 x;
+  Alcotest.(check bool) "mean_of time" true (dt >= 0.0)
+
+(* Property tests. *)
+
+let prop_permutation_is_bijection =
+  QCheck.Test.make ~name:"permutation is a bijection" ~count:50
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let p = Rng.permutation (Rng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun x -> seen.(x) <- true) p;
+      Array.for_all (fun b -> b) seen)
+
+let prop_ceil_div =
+  QCheck.Test.make ~name:"ceil_div a b = ceil(a/b)" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let b = b + 1 in
+      let q = Util.ceil_div a b in
+      (q * b >= a) && ((q - 1) * b < a || a = 0))
+
+let prop_ceil_pow2 =
+  QCheck.Test.make ~name:"ceil_pow2 bounds" ~count:200 QCheck.small_nat
+    (fun n ->
+      let n = n + 1 in
+      let p = Util.ceil_pow2 n in
+      p >= n && p land (p - 1) = 0 && (p = 1 || p / 2 < n))
+
+let () =
+  Alcotest.run "rpb_prim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "hash64 spread" `Quick test_hash64_nonnegative_and_spread;
+          Alcotest.test_case "hash64 stateless" `Quick test_hash64_stateless;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "permutation" `Quick test_permutation;
+          QCheck_alcotest.to_alcotest prop_permutation_is_bijection;
+        ] );
+      ( "atomic_array",
+        [
+          Alcotest.test_case "basic ops" `Quick test_atomic_array_basic;
+          Alcotest.test_case "fetch ops" `Quick test_atomic_array_fetch_ops;
+          Alcotest.test_case "parallel counter" `Quick test_atomic_array_parallel_counter;
+          Alcotest.test_case "parallel fetch_min" `Quick test_atomic_array_parallel_fetch_min;
+        ] );
+      ( "util",
+        [
+          Alcotest.test_case "ceil_div" `Quick test_util_ceil_div;
+          Alcotest.test_case "pow2/ilog2" `Quick test_util_pow2;
+          Alcotest.test_case "sortedness" `Quick test_util_sorted;
+          QCheck_alcotest.to_alcotest prop_ceil_div;
+          QCheck_alcotest.to_alcotest prop_ceil_pow2;
+        ] );
+      ("timing", [ Alcotest.test_case "timers" `Quick test_timing ]);
+    ]
