@@ -14,8 +14,15 @@ test-verbose:
 bench:
 	dune exec bench/main.exe
 
+# BENCH_ARGS threads extra flags through, e.g.
+#   make bench-quick BENCH_ARGS="--json BENCH_quick.json"
 bench-quick:
-	dune exec bench/main.exe -- table1 table2 table3 fig3 fig6 --scale 0 --repeats 1
+	dune exec bench/main.exe -- table1 table2 table3 fig3 fig6 --scale 0 --repeats 1 $(BENCH_ARGS)
+
+# CI bench-smoke job: one timed run per benchmark with per-worker scheduler
+# counters, written as a machine-readable BENCH_*.json artifact.
+bench-smoke:
+	dune exec bench/main.exe -- table1 --scale 0 --repeats 1 --json BENCH_smoke.json
 
 examples:
 	dune exec examples/quickstart.exe

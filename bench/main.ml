@@ -6,9 +6,17 @@
      dune exec bench/main.exe -- fig4 --scale 4 --threads 4 --repeats 5
      dune exec bench/main.exe -- bechamel     -- Bechamel versions (one
                                                  Test.make per table/figure)
+     dune exec bench/main.exe -- table1 --scale 0 --repeats 1 --json out.json
 
    Artifacts: table1 table2 table3 fig3 fig4 fig5a fig5b fig6 ablation
-   bechamel.  (Fig. 2, the fear spectrum, is printed with table3.) *)
+   bechamel.  (Fig. 2, the fear spectrum, is printed with table3.)
+
+   With --json FILE every timed benchmark run additionally appends a
+   machine-readable record (name, mode, scale, repeats, mean/min ns, and the
+   per-worker steal/task counters from Pool.Stats); the collected records are
+   written as one Bench_json document CI archives as BENCH_*.json.  table1,
+   which is otherwise untimed, times one quick run per benchmark in this mode
+   so a bench-smoke job gets real telemetry out of the cheapest artifact. *)
 
 open Rpb_benchmarks
 
@@ -17,7 +25,17 @@ let default_threads =
      every cross-domain code path is exercised. *)
   max 4 (min 8 (Domain.recommended_domain_count ()))
 
-type config = { scale : int; threads : int; repeats : int }
+type config = {
+  scale : int;
+  threads : int;
+  repeats : int;
+  json : string option;
+}
+
+(* Records accumulated for --json, in run order. *)
+let records : Bench_json.record list ref = ref []
+let json_active = ref false
+let record_result r = if !json_active then records := r :: !records
 
 let line () = print_endline (String.make 78 '-')
 
@@ -30,10 +48,21 @@ let with_pool n f =
   let pool = Rpb_pool.Pool.create ~num_workers:n () in
   Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool) (fun () -> f pool)
 
+(* The paper reports means over repeats on a quiet dedicated machine; on a
+   shared container the min is the standard noise-robust estimator, so the
+   human tables report min-of-repeats (the JSON records carry both). *)
+let time_benchmark pool cfg e input how =
+  let record, size =
+    Registry.measure_entry pool ~entry:e ~input ~scale:cfg.scale
+      ~repeats:cfg.repeats ~how
+  in
+  record_result record;
+  (record.Bench_json.min_ns /. 1e9, record.Bench_json.verified, size)
+
 (* ------------------------------------------------------------------ *)
 (* Table 1: benchmarks and their parallel access patterns.              *)
 
-let table1 _cfg =
+let table1 cfg =
   header "Table 1: Ported benchmarks and their parallel access patterns";
   let pats = Rpb_core.Pattern.all_accesses in
   Printf.printf "%-6s %-38s %-14s" "Abbrv" "Benchmark name" "Inputs";
@@ -49,7 +78,29 @@ let table1 _cfg =
             (if List.mem p e.Common.patterns then "x" else ""))
         pats;
       Printf.printf " %-7s\n" (if e.Common.dynamic then "dynamic" else "static"))
-    Registry.all
+    Registry.all;
+  (* In --json mode the registry listing also times one quick run per
+     benchmark (default input, unsafe mode) so the machine-readable output
+     carries real per-benchmark timing and per-worker steal/task counters
+     even for this otherwise untimed artifact. *)
+  if !json_active then begin
+    Printf.printf
+      "\n(--json: one smoke run per benchmark for the machine-readable \
+       output)\n";
+    with_pool cfg.threads (fun pool ->
+        List.iter
+          (fun e ->
+            let input = List.hd e.Common.inputs in
+            let t, ok, size =
+              time_benchmark pool cfg e input (`Par Mode.Unsafe)
+            in
+            Printf.printf "  %-6s %-28s %10.4f s  [%s]\n" e.Common.name
+              (Printf.sprintf "%s (%s)" input size)
+              t
+              (if ok then "ok" else "VERIFY-FAILED");
+            flush stdout)
+          Registry.all)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: input graphs.                                               *)
@@ -121,23 +172,6 @@ let fig3 _cfg =
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 4: execution time, parallel vs sequential baseline, 1 and P.    *)
-
-let time_benchmark pool cfg e input how =
-  Rpb_pool.Pool.run pool (fun () ->
-      let prepared = e.Common.prepare pool ~input ~scale:cfg.scale in
-      let run =
-        match how with
-        | `Seq -> prepared.Common.run_seq
-        | `Par mode -> fun () -> prepared.Common.run_par mode
-      in
-      run ();
-      (* warm-up *)
-      (* The paper reports means over repeats on a quiet dedicated machine;
-         on a shared container the min is the standard noise-robust
-         estimator, so the harness reports min-of-repeats. *)
-      let (), t = Rpb_prim.Timing.best_of ~repeats:cfg.repeats run in
-      let ok = prepared.Common.verify () in
-      (t, ok, prepared.Common.size))
 
 let all_benchmark_inputs () =
   List.concat_map
@@ -532,6 +566,7 @@ let artifacts =
 
 let parse_args () =
   let scale = ref 2 and threads = ref default_threads and repeats = ref 3 in
+  let json = ref None in
   let which = ref [] in
   let rec go = function
     | [] -> ()
@@ -544,6 +579,9 @@ let parse_args () =
     | "--repeats" :: v :: rest ->
       repeats := int_of_string v;
       go rest
+    | "--json" :: v :: rest ->
+      json := Some v;
+      go rest
     | name :: rest ->
       which := name :: !which;
       go rest
@@ -552,10 +590,31 @@ let parse_args () =
   let which =
     match List.rev !which with [] -> List.map fst artifacts | l -> l
   in
-  ({ scale = !scale; threads = !threads; repeats = !repeats }, which)
+  ( { scale = !scale; threads = !threads; repeats = !repeats; json = !json },
+    which )
+
+let write_json cfg which =
+  match cfg.json with
+  | None -> ()
+  | Some path ->
+    let meta =
+      Bench_json.
+        [
+          ("generator", Str "rpb-bench");
+          ("scale", Int cfg.scale);
+          ("threads", Int cfg.threads);
+          ("repeats", Int cfg.repeats);
+          ("host_cores", Int (Domain.recommended_domain_count ()));
+          ("artifacts", List (List.map (fun a -> Str a) which));
+        ]
+    in
+    let rs = List.rev !records in
+    Bench_json.write_doc ~path ~meta rs;
+    Printf.printf "wrote %d benchmark records to %s\n" (List.length rs) path
 
 let () =
   let cfg, which = parse_args () in
+  json_active := cfg.json <> None;
   Printf.printf
     "RPB reproduction harness: scale=%d threads=%d repeats=%d (host cores: %d)\n"
     cfg.scale cfg.threads cfg.repeats
@@ -568,4 +627,5 @@ let () =
         Printf.eprintf "unknown artifact %s; known: %s\n" name
           (String.concat " " (List.map fst artifacts));
         exit 1)
-    which
+    which;
+  write_json cfg which

@@ -3,7 +3,8 @@
    rpb list
    rpb patterns
    rpb run sa --input wiki --scale 3 --threads 4 --mode checked --repeats 3
-   rpb run all --scale 1 *)
+   rpb run all --scale 1
+   rpb stats --threads 4 --json stats.json --trace trace.json *)
 
 open Cmdliner
 open Rpb_benchmarks
@@ -110,7 +111,109 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ bench_arg $ input $ scale $ threads $ mode $ repeats $ seq)
 
+(* A deliberately steal-heavy synthetic workload: fine-grained fork-join
+   leaves plus an unbalanced recursive join, so every per-worker counter
+   (tasks, steals, idle waits, deque depth) moves at num_workers > 1. *)
+let stats_workload pool ~tasks ~work =
+  let sink = Atomic.make 0 in
+  let spin k =
+    let acc = ref 0 in
+    for i = 1 to k do
+      acc := !acc + (i * i)
+    done;
+    Atomic.fetch_and_add sink !acc |> ignore
+  in
+  Rpb_pool.Pool.run pool (fun () ->
+      Rpb_pool.Pool.parallel_for ~grain:1 ~start:0 ~finish:tasks
+        ~body:(fun _ -> spin work)
+        pool;
+      let rec unbalanced n =
+        if n <= 1 then 1
+        else
+          let a, b =
+            Rpb_pool.Pool.join pool
+              (fun () -> unbalanced (n - 1))
+              (fun () ->
+                spin (work / 4);
+                1)
+          in
+          a + b
+      in
+      ignore (unbalanced 64);
+      ignore
+        (Rpb_pool.Pool.parallel_for_reduce ~grain:16 ~start:0 ~finish:(tasks * 8)
+           ~body:Fun.id ~combine:( + ) ~init:0 pool))
+
+let stats_run ~threads ~tasks ~work ~json ~trace =
+  let module Pool = Rpb_pool.Pool in
+  let pool = Pool.create ~num_workers:threads () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  if trace <> None then Pool.Trace.start ();
+  let before = Pool.Stats.capture pool in
+  let (), elapsed =
+    Rpb_prim.Timing.time (fun () -> stats_workload pool ~tasks ~work)
+  in
+  let after = Pool.Stats.capture pool in
+  let s = Pool.Stats.diff ~before ~after in
+  Printf.printf "synthetic workload: %d leaf tasks, %.4f s\n%s\n" tasks elapsed
+    (Pool.Stats.to_string s);
+  (match trace with
+   | None -> ()
+   | Some path ->
+     let n = Pool.Trace.stop_to_file path in
+     Printf.printf "wrote %d trace events to %s (chrome://tracing format)\n" n
+       path);
+  (match json with
+   | None -> ()
+   | Some path ->
+     let record =
+       {
+         Bench_json.bench = "stats-workload";
+         input = "synthetic";
+         mode = "unsafe";
+         scale = 0;
+         threads;
+         repeats = 1;
+         mean_ns = elapsed *. 1e9;
+         min_ns = elapsed *. 1e9;
+         verified = true;
+         workers = Bench_json.workers_of_pool_stats s;
+       }
+     in
+     Bench_json.write_doc ~path
+       ~meta:[ ("generator", Bench_json.Str "rpb-stats") ]
+       [ record ];
+     Printf.printf "wrote telemetry record to %s\n" path);
+  0
+
+let stats_cmd =
+  let doc =
+    "Run a steal-heavy synthetic workload and report per-worker scheduler \
+     telemetry (Pool.Stats), optionally as JSON and/or a Chrome trace."
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"P") in
+  let tasks =
+    Arg.(value & opt int 512 & info [ "tasks" ] ~docv:"N" ~doc:"leaf task count")
+  in
+  let work =
+    Arg.(value & opt int 20_000 & info [ "work" ] ~docv:"K" ~doc:"spin per leaf")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"write a Bench_json document")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"record task spans and write Chrome-trace JSON")
+  in
+  let run threads tasks work json trace =
+    exit (stats_run ~threads ~tasks ~work ~json ~trace)
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ threads $ tasks $ work $ json $ trace)
+
 let () =
   let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
   let info = Cmd.info "rpb" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; patterns_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; patterns_cmd; run_cmd; stats_cmd ]))

@@ -19,3 +19,23 @@ type entry = {
 }
 
 let scaled base scale = base * (1 lsl scale)
+
+type measurement = {
+  mean_s : float;
+  min_s : float;
+  pool_stats : Rpb_pool.Pool.Stats.t;
+}
+
+(* Times [f] over [repeats] runs and attributes the scheduler activity of the
+   whole window (all repeats) to the measurement, by diffing per-worker
+   counter snapshots taken around it. *)
+let measure pool ~repeats f =
+  let before = Rpb_pool.Pool.Stats.capture pool in
+  let (), times = Rpb_prim.Timing.samples ~repeats f in
+  let after = Rpb_pool.Pool.Stats.capture pool in
+  let n = float_of_int (Array.length times) in
+  {
+    mean_s = Array.fold_left ( +. ) 0.0 times /. n;
+    min_s = Array.fold_left min infinity times;
+    pool_stats = Rpb_pool.Pool.Stats.diff ~before ~after;
+  }

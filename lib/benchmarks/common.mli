@@ -24,3 +24,15 @@ type entry = {
 
 val scaled : int -> int -> int
 (** [scaled base scale = base * 2^scale]. *)
+
+type measurement = {
+  mean_s : float;  (** arithmetic mean over the repeats *)
+  min_s : float;   (** noise-robust min over the repeats *)
+  pool_stats : Rpb_pool.Pool.Stats.t;
+      (** per-worker scheduler activity across all the repeats *)
+}
+
+val measure : Rpb_pool.Pool.t -> repeats:int -> (unit -> unit) -> measurement
+(** [measure pool ~repeats f] runs [f] [repeats] times, snapshotting the
+    pool's per-worker counters around the whole window — the per-run stat
+    capture behind both the human tables and the [BENCH_*.json] records. *)

@@ -16,3 +16,15 @@ val access_distribution : unit -> (Pattern.access * int * float) list
 
 val benchmarks_with : Pattern.access -> string list
 (** Which benchmarks use a pattern — Table 1 column. *)
+
+val measure_entry :
+  Rpb_pool.Pool.t ->
+  entry:Common.entry ->
+  input:string ->
+  scale:int ->
+  repeats:int ->
+  how:[ `Seq | `Par of Mode.t ] ->
+  Bench_json.record * string
+(** Prepare, warm up, time and verify one benchmark configuration inside
+    [Pool.run], capturing per-worker scheduler counters across the repeats.
+    Returns the machine-readable record and the input-size description. *)

@@ -54,6 +54,7 @@ let check_unique_sort _pool offsets =
   done
 
 let validate_offsets ?(strategy = Mark_table) pool ~n offsets =
+  Pool.Trace.span pool "scatter.validate" @@ fun () ->
   check_range pool ~n offsets;
   match strategy with
   | Mark_table -> check_unique_mark pool ~n offsets
@@ -64,6 +65,7 @@ let length_check ~offsets ~src =
     invalid_arg "Scatter: offsets and src length mismatch"
 
 let unchecked pool ~out ~offsets ~src =
+  Pool.Trace.span pool "scatter.unchecked" @@ fun () ->
   length_check ~offsets ~src;
   let n = Array.length out in
   Pool.parallel_for ~start:0 ~finish:(Array.length src)

@@ -5,6 +5,24 @@ type 'a promise = 'a state Atomic.t
 
 exception Shutdown
 
+(* ------------------------------------------------------------------ *)
+(* Per-worker counters.
+
+   Each worker owns one [int array] slab, allocated separately and padded to
+   a cache line, so the hot-path increments never contend: a worker writes
+   only its own slab and the aggregator ([Stats.capture]) performs racy plain
+   reads, which is fine for monotonic diagnostics counters. *)
+
+let c_tasks = 0
+let c_steals_ok = 1
+let c_steals_failed = 2
+let c_idle = 3
+let c_max_depth = 4
+
+(* 8 words = 64 bytes of payload per slab: one full cache line, so two
+   workers' counters never share one. *)
+let counter_slots = 8
+
 type t = {
   id : int;
   num_workers : int;
@@ -18,8 +36,7 @@ type t = {
   sleepers : int Atomic.t;
   shutdown_flag : bool Atomic.t;
   running : bool Atomic.t;
-  tasks_executed : int Atomic.t;
-  steals : int Atomic.t;
+  counters : int array array;
 }
 
 let next_pool_id = Atomic.make 0
@@ -35,6 +52,204 @@ let my_index pool =
 
 let size pool = pool.num_workers
 
+(* Alias for annotating functions defined after [Stats]/[Trace], whose record
+   fields would otherwise shadow [t]'s during inference. *)
+type pool = t
+
+(* ------------------------------------------------------------------ *)
+(* Structured scheduler telemetry (replaces the old global atomics).    *)
+
+module Stats = struct
+  type worker = {
+    worker_id : int;
+    tasks_executed : int;
+    steals_ok : int;
+    steals_failed : int;
+    idle_episodes : int;
+    max_deque_depth : int;
+  }
+
+  type t = { num_workers : int; per_worker : worker array }
+
+  let total f t = Array.fold_left (fun acc w -> acc + f w) 0 t.per_worker
+  let tasks_executed t = total (fun w -> w.tasks_executed) t
+  let steals_ok t = total (fun w -> w.steals_ok) t
+  let steals_failed t = total (fun w -> w.steals_failed) t
+  let idle_episodes t = total (fun w -> w.idle_episodes) t
+
+  let max_deque_depth t =
+    Array.fold_left (fun acc w -> max acc w.max_deque_depth) 0 t.per_worker
+
+  (* Counters are monotonic, so a window of activity is [after - before];
+     [max_deque_depth] is a high-water mark and keeps the [after] value. *)
+  let diff ~before ~after =
+    let sub wa wb =
+      {
+        worker_id = wa.worker_id;
+        tasks_executed = wa.tasks_executed - wb.tasks_executed;
+        steals_ok = wa.steals_ok - wb.steals_ok;
+        steals_failed = wa.steals_failed - wb.steals_failed;
+        idle_episodes = wa.idle_episodes - wb.idle_episodes;
+        max_deque_depth = wa.max_deque_depth;
+      }
+    in
+    {
+      num_workers = after.num_workers;
+      per_worker =
+        Array.mapi
+          (fun i wa ->
+            if i < Array.length before.per_worker then
+              sub wa before.per_worker.(i)
+            else wa)
+          after.per_worker;
+    }
+
+  let summary t =
+    Printf.sprintf "workers=%d tasks=%d steals=%d failed-steals=%d idle=%d"
+      t.num_workers (tasks_executed t) (steals_ok t) (steals_failed t)
+      (idle_episodes t)
+
+  let to_string t =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (summary t);
+    Array.iter
+      (fun w ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "\n  worker %2d: tasks=%-8d steals=%-6d failed=%-6d idle=%-5d \
+              max-depth=%d"
+             w.worker_id w.tasks_executed w.steals_ok w.steals_failed
+             w.idle_episodes w.max_deque_depth))
+      t.per_worker;
+    Buffer.contents b
+
+  let capture (pool : pool) =
+    {
+      num_workers = pool.num_workers;
+      per_worker =
+        Array.mapi
+          (fun i c ->
+            {
+              worker_id = i;
+              tasks_executed = c.(c_tasks);
+              steals_ok = c.(c_steals_ok);
+              steals_failed = c.(c_steals_failed);
+              idle_episodes = c.(c_idle);
+              max_deque_depth = c.(c_max_depth);
+            })
+          pool.counters;
+    }
+
+  let reset (pool : pool) =
+    Array.iter (fun c -> Array.fill c 0 counter_slots 0) pool.counters
+end
+
+(* ------------------------------------------------------------------ *)
+(* Task tracing.
+
+   Off by default and gated behind one atomic read per potential event, so
+   the instrumented hot paths stay at their uninstrumented cost when tracing
+   is disabled.  Events are buffered per domain (no shared structure on the
+   recording path) and serialized to the Chrome trace-event JSON format
+   ([chrome://tracing] / Perfetto) on [stop_to_file]. *)
+
+module Trace = struct
+  type event = { name : string; tid : int; ts_us : float; dur_us : float }
+
+  let enabled_flag = Atomic.make false
+  let registry_mutex = Mutex.create ()
+  let buffers : event list ref list ref = ref []
+
+  let buf_key : event list ref option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let my_buffer () =
+    let slot = Domain.DLS.get buf_key in
+    match !slot with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Mutex.lock registry_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_mutex;
+      slot := Some b;
+      b
+
+  let enabled () = Atomic.get enabled_flag
+  let now_us () = Unix.gettimeofday () *. 1e6
+
+  let record ~name ~tid ~ts_us ~dur_us =
+    if Atomic.get enabled_flag then begin
+      let b = my_buffer () in
+      b := { name; tid; ts_us; dur_us } :: !b
+    end
+
+  let start () =
+    Mutex.lock registry_mutex;
+    List.iter (fun b -> b := []) !buffers;
+    Mutex.unlock registry_mutex;
+    Atomic.set enabled_flag true
+
+  let stop () =
+    Atomic.set enabled_flag false;
+    Mutex.lock registry_mutex;
+    let evs = List.concat_map (fun b -> !b) !buffers in
+    List.iter (fun b -> b := []) !buffers;
+    Mutex.unlock registry_mutex;
+    List.sort (fun a b -> compare a.ts_us b.ts_us) evs
+
+  let span pool name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let t0 = now_us () in
+      let finish () =
+        let tid = match my_index pool with Some i -> i | None -> -1 in
+        record ~name ~tid ~ts_us:t0 ~dur_us:(now_us () -. t0)
+      in
+      match f () with
+      | x ->
+        finish ();
+        x
+      | exception e ->
+        finish ();
+        raise e
+    end
+
+  let escape name =
+    let b = Buffer.create (String.length name + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      name;
+    Buffer.contents b
+
+  let stop_to_file path =
+    let evs = stop () in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc "[";
+        List.iteri
+          (fun i e ->
+            if i > 0 then output_string oc ",";
+            Printf.fprintf oc
+              "\n\
+               {\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
+              (escape e.name) e.tid e.ts_us e.dur_us)
+          evs;
+        output_string oc "\n]\n");
+    List.length evs
+end
+
+(* ------------------------------------------------------------------ *)
+
 (* Eventcount-style wakeup: pushers bump [wake_version] then broadcast if any
    worker registered as sleeping; sleepers re-check the version under the
    mutex before waiting, so no wakeup can be missed. *)
@@ -47,7 +262,11 @@ let signal_work pool =
   end
 
 let push_local pool idx task =
-  Ws_deque.push pool.deques.(idx) task;
+  let dq = pool.deques.(idx) in
+  Ws_deque.push dq task;
+  let c = pool.counters.(idx) in
+  let depth = Ws_deque.size dq in
+  if depth > c.(c_max_depth) then c.(c_max_depth) <- depth;
   signal_work pool
 
 let push_external pool task =
@@ -72,6 +291,7 @@ let try_find_task pool my_idx rng =
   | Some _ as t -> t
   | None ->
     let n = pool.num_workers in
+    let c = pool.counters.(my_idx) in
     let start = if n > 1 then Rpb_prim.Rng.int rng n else 0 in
     let rec sweep k =
       if k >= n then None
@@ -81,29 +301,44 @@ let try_find_task pool my_idx rng =
         else
           match Ws_deque.steal pool.deques.(v) with
           | Some _ as t ->
-            Atomic.incr pool.steals;
+            c.(c_steals_ok) <- c.(c_steals_ok) + 1;
             t
-          | None -> sweep (k + 1)
+          | None ->
+            c.(c_steals_failed) <- c.(c_steals_failed) + 1;
+            sweep (k + 1)
       end
     in
     (match sweep 0 with
      | Some _ as t -> t
      | None -> take_injected pool)
 
-let execute pool task =
-  Atomic.incr pool.tasks_executed;
-  task ()
+let execute pool idx task =
+  let c = pool.counters.(idx) in
+  c.(c_tasks) <- c.(c_tasks) + 1;
+  if Trace.enabled () then begin
+    let t0 = Trace.now_us () in
+    match task () with
+    | () ->
+      Trace.record ~name:"task" ~tid:idx ~ts_us:t0
+        ~dur_us:(Trace.now_us () -. t0)
+    | exception e ->
+      Trace.record ~name:"task" ~tid:idx ~ts_us:t0
+        ~dur_us:(Trace.now_us () -. t0);
+      raise e
+  end
+  else task ()
 
 let worker_loop pool idx =
   Domain.DLS.get slot_key := Some (pool.id, idx);
   let rng = Rpb_prim.Rng.create (0x5EED + idx) in
+  let c = pool.counters.(idx) in
   let spin_budget = 64 in
   let rec loop spins =
     if Atomic.get pool.shutdown_flag then ()
     else
       match try_find_task pool idx rng with
       | Some task ->
-        execute pool task;
+        execute pool idx task;
         loop spin_budget
       | None ->
         if spins > 0 then begin
@@ -112,6 +347,7 @@ let worker_loop pool idx =
         end
         else begin
           (* Sleep until new work is signalled (or shutdown). *)
+          c.(c_idle) <- c.(c_idle) + 1;
           let seen = Atomic.get pool.wake_version in
           Mutex.lock pool.idle_mutex;
           Atomic.incr pool.sleepers;
@@ -141,8 +377,7 @@ let create ?name:_ ~num_workers () =
       sleepers = Atomic.make 0;
       shutdown_flag = Atomic.make false;
       running = Atomic.make false;
-      tasks_executed = Atomic.make 0;
-      steals = Atomic.make 0;
+      counters = Array.init num_workers (fun _ -> Array.make counter_slots 0);
     }
   in
   pool.domains <-
@@ -190,12 +425,13 @@ let await pool p =
   (match my_index pool with
    | Some idx ->
      let rng = Rpb_prim.Rng.create (0xA3A17 + idx) in
+     let c = pool.counters.(idx) in
      let rec help spins =
        match Atomic.get p with
        | Pending ->
          (match try_find_task pool idx rng with
           | Some task ->
-            execute pool task;
+            execute pool idx task;
             help 64
           | None ->
             if spins > 0 then begin
@@ -204,6 +440,7 @@ let await pool p =
             end
             else begin
               (* The task is running on another worker; yield the core. *)
+              c.(c_idle) <- c.(c_idle) + 1;
               Unix.sleepf 5e-5;
               help 64
             end)
@@ -239,7 +476,7 @@ let join pool f g =
     let b = await pool pg in
     (a, b)
 
-let default_grain pool n = max 1 (n / (8 * pool.num_workers))
+let default_grain (pool : pool) n = max 1 (n / (8 * pool.num_workers))
 
 let parallel_for ?grain ~start ~finish ~body pool =
   let n = finish - start in
@@ -327,7 +564,9 @@ let run pool f =
 
 let current_worker = my_index
 
+(* Deprecated compat wrapper over [Stats]; kept so old callers and scripts
+   that scrape the one-line form keep working. *)
 let stats pool =
-  Printf.sprintf "workers=%d tasks=%d steals=%d" pool.num_workers
-    (Atomic.get pool.tasks_executed)
-    (Atomic.get pool.steals)
+  let s = Stats.capture pool in
+  Printf.sprintf "workers=%d tasks=%d steals=%d" s.Stats.num_workers
+    (Stats.tasks_executed s) (Stats.steals_ok s)

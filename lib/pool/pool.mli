@@ -18,7 +18,11 @@
     called from inside {!run} (the calling domain becomes worker 0) or from a
     task already executing on the pool.  {!await} never blocks the worker: it
     helps by popping and stealing pending tasks, the standard fork-join
-    "help-first" policy that makes nested parallelism deadlock-free. *)
+    "help-first" policy that makes nested parallelism deadlock-free.
+
+    The scheduler is instrumented: every worker keeps private, cache-line
+    padded counters (see {!Stats}) and every hot path carries an optional
+    tracing hook (see {!Trace}) that costs one atomic load when disabled. *)
 
 type t
 
@@ -81,5 +85,86 @@ val current_worker : t -> int option
 (** The calling domain's worker index, if it is executing on this pool.
     Useful for per-worker scratch state. *)
 
+(** {1 Scheduler telemetry}
+
+    Every worker maintains private counters in its own cache line — the
+    increments on the scheduling hot paths are plain stores with no
+    cross-worker contention, so the instrumentation does not perturb the
+    1-vs-P-thread comparisons the paper's evaluation rests on.  Aggregation
+    happens only when a snapshot is {!Stats.capture}d. *)
+
+module Stats : sig
+  type pool := t
+
+  type worker = {
+    worker_id : int;
+    tasks_executed : int;  (** tasks this worker ran (own, stolen, injected) *)
+    steals_ok : int;  (** successful steals by this worker *)
+    steals_failed : int;  (** victim sweeps that found an empty/contended deque *)
+    idle_episodes : int;  (** times the worker gave up spinning and slept *)
+    max_deque_depth : int;  (** high-water mark of this worker's own deque *)
+  }
+
+  type t = { num_workers : int; per_worker : worker array }
+
+  val capture : pool -> t
+  (** Snapshot the live counters.  Cheap (one racy read per counter); safe to
+      call at any time, including while the pool is running. *)
+
+  val reset : pool -> unit
+  (** Zero all counters.  Only meaningful while the pool is quiescent. *)
+
+  val diff : before:t -> after:t -> t
+  (** Per-worker activity between two snapshots.  Monotonic counters are
+      subtracted; [max_deque_depth] (a high-water mark) keeps the [after]
+      value. *)
+
+  val tasks_executed : t -> int
+  val steals_ok : t -> int
+  val steals_failed : t -> int
+  val idle_episodes : t -> int
+
+  val max_deque_depth : t -> int
+  (** Maximum of the per-worker high-water marks. *)
+
+  val summary : t -> string
+  (** One-line totals. *)
+
+  val to_string : t -> string
+  (** Multi-line form: totals plus one line per worker. *)
+end
+
+(** {1 Task tracing}
+
+    A process-global switch (the pool's hot paths only pay one atomic load
+    while it is off).  When enabled, every executed task and every
+    {!Trace.span} records a complete event — name, worker id, begin
+    timestamp, duration — into a per-domain buffer; {!Trace.stop_to_file}
+    serializes them in the Chrome trace-event JSON format, loadable in
+    [chrome://tracing] or Perfetto. *)
+
+module Trace : sig
+  type pool := t
+
+  val enabled : unit -> bool
+
+  val start : unit -> unit
+  (** Discard previously buffered events and begin recording. *)
+
+  val span : pool -> string -> (unit -> 'a) -> 'a
+  (** [span pool name f] runs [f] and, when tracing is enabled, records a
+      named span attributed to the calling worker (worker id [-1] outside the
+      pool).  When tracing is off the cost is a single atomic load. *)
+
+  val record : name:string -> tid:int -> ts_us:float -> dur_us:float -> unit
+  (** Low-level hook: append one complete event (timestamps in microseconds,
+      as given by [Unix.gettimeofday () *. 1e6]).  Dropped when disabled. *)
+
+  val stop_to_file : string -> int
+  (** Stop recording, write all buffered events as Chrome-trace JSON to the
+      given path, clear the buffers, and return the number of events. *)
+end
+
 val stats : t -> string
-(** Human-readable counters (tasks executed, steals) for diagnostics. *)
+[@@ocaml.deprecated "Use Pool.Stats.capture / Pool.Stats.summary instead."]
+(** Legacy one-line counter string; thin wrapper over {!Stats.capture}. *)

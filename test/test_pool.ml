@@ -258,6 +258,112 @@ let test_pool_many_small_tasks () =
           let total = List.fold_left (fun acc p -> acc + Pool.await pool p) 0 ps in
           Alcotest.(check int) "all tasks ran" (n * (n - 1) / 2) total))
 
+(* ---------- scheduler telemetry ---------- *)
+
+(* The per-worker counters must aggregate consistently: every total exposed
+   by [Stats] equals the sum of its per-worker column. *)
+let test_stats_per_worker_sums () =
+  with_pool 4 (fun pool ->
+      let before = Pool.Stats.capture pool in
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~grain:1 ~start:0 ~finish:5_000
+            ~body:(fun _ -> ())
+            pool);
+      let after = Pool.Stats.capture pool in
+      let s = Pool.Stats.diff ~before ~after in
+      Alcotest.(check int) "worker count" 4 s.Pool.Stats.num_workers;
+      Alcotest.(check int) "per-worker array" 4
+        (Array.length s.Pool.Stats.per_worker);
+      let sum f =
+        Array.fold_left (fun acc w -> acc + f w) 0 s.Pool.Stats.per_worker
+      in
+      Alcotest.(check int) "tasks total = sum"
+        (Pool.Stats.tasks_executed s)
+        (sum (fun w -> w.Pool.Stats.tasks_executed));
+      Alcotest.(check int) "steals total = sum" (Pool.Stats.steals_ok s)
+        (sum (fun w -> w.Pool.Stats.steals_ok));
+      Alcotest.(check int) "failed steals total = sum"
+        (Pool.Stats.steals_failed s)
+        (sum (fun w -> w.Pool.Stats.steals_failed));
+      Alcotest.(check int) "idle total = sum"
+        (Pool.Stats.idle_episodes s)
+        (sum (fun w -> w.Pool.Stats.idle_episodes));
+      Alcotest.(check bool) "fork-join actually scheduled tasks" true
+        (Pool.Stats.tasks_executed s > 0);
+      Alcotest.(check bool) "worker ids are 0..n-1" true
+        (Array.for_all
+           (fun i -> s.Pool.Stats.per_worker.(i).Pool.Stats.worker_id = i)
+           (Array.init 4 Fun.id)))
+
+let test_stats_single_worker_no_steals () =
+  with_pool 1 (fun pool ->
+      Pool.Stats.reset pool;
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~grain:1 ~start:0 ~finish:10_000
+            ~body:(fun _ -> ())
+            pool);
+      let s = Pool.Stats.capture pool in
+      Alcotest.(check int) "no steals with one worker" 0 (Pool.Stats.steals_ok s);
+      Alcotest.(check int) "no failed steals with one worker" 0
+        (Pool.Stats.steals_failed s))
+
+let test_stats_diff_and_reset () =
+  with_pool 3 (fun pool ->
+      Pool.run pool (fun () ->
+          Pool.parallel_for ~grain:1 ~start:0 ~finish:1_000
+            ~body:(fun _ -> ())
+            pool);
+      let a = Pool.Stats.capture pool in
+      (* No work between two snapshots: the diff must be all zeros. *)
+      let b = Pool.Stats.capture pool in
+      let d = Pool.Stats.diff ~before:a ~after:b in
+      Alcotest.(check int) "quiescent diff tasks" 0 (Pool.Stats.tasks_executed d);
+      Alcotest.(check int) "quiescent diff steals" 0 (Pool.Stats.steals_ok d);
+      Pool.Stats.reset pool;
+      let z = Pool.Stats.capture pool in
+      Alcotest.(check int) "reset zeroes tasks" 0 (Pool.Stats.tasks_executed z);
+      Alcotest.(check int) "reset zeroes depth" 0 (Pool.Stats.max_deque_depth z))
+
+let test_stats_compat_string () =
+  with_pool 2 (fun pool ->
+      Pool.run pool (fun () ->
+          let p = Pool.async pool (fun () -> ()) in
+          Pool.await pool p);
+      let s = (Pool.stats [@warning "-3"]) pool in
+      Alcotest.(check bool) "legacy one-line shape" true
+        (String.length s > 0
+        && String.sub s 0 8 = "workers="
+        &&
+        match String.index_opt s ' ' with
+        | Some _ -> true
+        | None -> false))
+
+let test_trace_span_records_events () =
+  with_pool 2 (fun pool ->
+      Pool.Trace.start ();
+      Alcotest.(check bool) "enabled" true (Pool.Trace.enabled ());
+      Pool.run pool (fun () ->
+          Pool.Trace.span pool "outer" (fun () ->
+              Pool.parallel_for ~grain:8 ~start:0 ~finish:256
+                ~body:(fun _ -> ())
+                pool));
+      let path = Filename.temp_file "rpb_trace" ".json" in
+      let n = Pool.Trace.stop_to_file path in
+      Alcotest.(check bool) "disabled after stop" false (Pool.Trace.enabled ());
+      Alcotest.(check bool) "recorded the span (and maybe tasks)" true (n >= 1);
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let body = really_input_string ic len in
+      close_in ic;
+      Sys.remove path;
+      Alcotest.(check bool) "names the span" true
+        (let re = "outer" in
+         let rec find i =
+           i + String.length re <= String.length body
+           && (String.sub body i (String.length re) = re || find (i + 1))
+         in
+         find 0))
+
 let prop_parallel_reduce_matches_sequential =
   QCheck.Test.make ~name:"parallel_for_reduce = sequential fold" ~count:20
     QCheck.(list small_int)
@@ -313,5 +419,15 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
           Alcotest.test_case "many small tasks" `Quick test_pool_many_small_tasks;
           QCheck_alcotest.to_alcotest prop_parallel_reduce_matches_sequential;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "per-worker sums" `Quick test_stats_per_worker_sums;
+          Alcotest.test_case "single worker: zero steals" `Quick
+            test_stats_single_worker_no_steals;
+          Alcotest.test_case "diff and reset" `Quick test_stats_diff_and_reset;
+          Alcotest.test_case "deprecated stats string" `Quick
+            test_stats_compat_string;
+          Alcotest.test_case "trace span" `Quick test_trace_span_records_events;
         ] );
     ]
