@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean
+.PHONY: all build test bench examples doc clean check-race
 
 all: build
 
@@ -23,6 +23,14 @@ bench-quick:
 # counters, written as a machine-readable BENCH_*.json artifact.
 bench-smoke:
 	dune exec bench/main.exe -- table1 --scale 0 --repeats 1 --json BENCH_smoke.json
+
+# CI check-race job: the differential oracle (every benchmark under the
+# deterministic sequential executor, its shuffled variant, and the
+# work-stealing pool, with element-wise output diffs) plus the shadow-array
+# race-detector self-check, written as a machine-readable CHECK_*.json
+# artifact.
+check-race:
+	dune exec bin/rpb.exe -- check --seed 42 --json CHECK_report.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -4,7 +4,8 @@
    rpb patterns
    rpb run sa --input wiki --scale 3 --threads 4 --mode checked --repeats 3
    rpb run all --scale 1
-   rpb stats --threads 4 --json stats.json --trace trace.json *)
+   rpb stats --threads 4 --json stats.json --trace trace.json
+   rpb check --seed 42 --json CHECK_report.json *)
 
 open Cmdliner
 open Rpb_benchmarks
@@ -213,7 +214,53 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run $ threads $ tasks $ work $ json $ trace)
 
+let check_run ~seed ~bench ~threads ~scale ~json =
+  match Rpb_check.Oracle.run ?bench ~threads ~scale ~seed () with
+  | report ->
+    print_string (Rpb_check.Oracle.summary report);
+    (match json with
+     | None -> ()
+     | Some path ->
+       Rpb_check.Oracle.write_json ~path report;
+       Printf.printf "wrote check report to %s\n" path);
+    if Rpb_check.Oracle.ok report then 0 else 2
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s (try `rpb list`)\n" msg;
+    1
+
+let check_cmd =
+  let doc =
+    "Differential oracle + shadow-array self-check: run every benchmark \
+     under the deterministic sequential executor (in-order and seeded \
+     shuffled) and the work-stealing pool, diff output digests element-wise \
+     against the sequential baseline, and verify the dynamic race detector \
+     reports zero races on valid inputs while catching an injected \
+     duplicate offset."
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"seed for schedules and inputs")
+  in
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench"; "b" ] ~docv:"BENCH"
+             ~doc:"restrict to one benchmark (default: all)")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"P") in
+  let scale = Arg.(value & opt int 0 & info [ "scale"; "s" ] ~docv:"S") in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"write the machine-readable report")
+  in
+  let run seed bench threads scale json =
+    exit (check_run ~seed ~bench ~threads ~scale ~json)
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(const run $ seed $ bench $ threads $ scale $ json)
+
 let () =
   let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
   let info = Cmd.info "rpb" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; patterns_cmd; run_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; patterns_cmd; run_cmd; stats_cmd; check_cmd ]))

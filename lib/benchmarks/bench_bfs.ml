@@ -24,5 +24,6 @@ let entry : Common.entry =
           run_seq = (fun () -> last := Rpb_graph.Reference.bfs_distances g ~src:0);
           run_par = (fun _mode -> last := Rpb_graph.Traverse.bfs pool g ~src:0);
           verify = (fun () -> !last = expected);
+          snapshot = (fun () -> Array.copy !last);
         });
   }

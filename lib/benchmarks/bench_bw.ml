@@ -76,5 +76,6 @@ let entry : Common.entry =
                 | Mode.Checked -> Rpb_text.Bwt.decode ~checked:true pool encoded
                 | Mode.Synchronized -> decode_synchronized pool encoded);
           verify = (fun () -> String.equal !last text);
+          snapshot = (fun () -> Common.digest_of_string !last);
         });
   }

@@ -86,5 +86,8 @@ let entry : Common.entry =
               let got = Array.copy !last in
               Array.sort compare got;
               got = expected);
+          (* Element order out of the hash table is schedule-dependent; the
+             sorted contents are not. *)
+          snapshot = (fun () -> Common.digest_sorted !last);
         });
   }

@@ -49,5 +49,19 @@ let entry : Common.entry =
                 Rpb_geom.Mesh.validate mesh = Ok ()
                 && stats.Rpb_geom.Refine.remaining_bad
                    <= stats.Rpb_geom.Refine.skipped);
+          (* Refinement inserts depend on reservation order, so the mesh
+             itself is schedule-dependent; the checked quality contract is
+             the deterministic observable. *)
+          snapshot =
+            (fun () ->
+              match !last with
+              | None -> [||]
+              | Some (mesh, stats) ->
+                [|
+                  Common.digest_of_bool (Rpb_geom.Mesh.validate mesh = Ok ());
+                  Common.digest_of_bool
+                    (stats.Rpb_geom.Refine.remaining_bad
+                     <= stats.Rpb_geom.Refine.skipped);
+                |]);
         });
   }

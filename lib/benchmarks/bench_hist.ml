@@ -51,5 +51,16 @@ let entry : Common.entry =
             (fun () ->
               Array.length !last = Array.length expected
               && Array.for_all2 Rpb_parseq.Histogram.stats_equal !last expected);
+          snapshot =
+            (fun () ->
+              (* Four ints per bucket: count, sum, min, max. *)
+              let s = !last in
+              Array.init (4 * Array.length s) (fun k ->
+                  let b = s.(k / 4) in
+                  match k mod 4 with
+                  | 0 -> b.Rpb_parseq.Histogram.count
+                  | 1 -> b.Rpb_parseq.Histogram.total
+                  | 2 -> b.Rpb_parseq.Histogram.vmin
+                  | _ -> b.Rpb_parseq.Histogram.vmax));
         });
   }

@@ -65,5 +65,6 @@ let entry : Common.entry =
               last := out);
           run_par = (fun mode -> last := radix_sort_with_mode mode pool data);
           verify = (fun () -> !last = expected);
+          snapshot = (fun () -> Array.copy !last);
         });
   }

@@ -86,5 +86,8 @@ let entry : Common.entry =
               && match !seq_result with
                  | Some l -> l = (!last).Rpb_text.Lcp.length
                  | None -> true);
+          (* Only the length is schedule-independent: distinct positions can
+             carry equally-long repeats and the arg-max tiebreak differs. *)
+          snapshot = (fun () -> [| (!last).Rpb_text.Lcp.length |]);
         });
   }

@@ -30,5 +30,11 @@ let entry : Common.entry =
               in
               last := Rpb_graph.Mis.compute ~sync pool g);
           verify = (fun () -> Rpb_graph.Reference.is_maximal_independent_set g !last);
+          (* Different (all correct) schedules elect different maximal sets;
+             the deterministic observable is maximality + independence. *)
+          snapshot =
+            (fun () ->
+              [| Common.digest_of_bool
+                   (Rpb_graph.Reference.is_maximal_independent_set g !last) |]);
         });
   }

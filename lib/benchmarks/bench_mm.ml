@@ -27,5 +27,11 @@ let entry : Common.entry =
               last := Rpb_graph.Matching.compute pool ~edges ~n:(Rpb_graph.Csr.n g));
           verify =
             (fun () -> Rpb_graph.Reference.is_maximal_matching g ~edges ~selected:!last);
+          (* The elected matching is schedule-dependent; maximality is not. *)
+          snapshot =
+            (fun () ->
+              [| Common.digest_of_bool
+                   (Rpb_graph.Reference.is_maximal_matching g ~edges
+                      ~selected:!last) |]);
         });
   }

@@ -47,5 +47,10 @@ let entry : Common.entry =
           verify =
             (fun () ->
               Rpb_graph.Spanning_forest.forest_weight g !last = expected_weight);
+          (* Edge choice can differ on equal weights; the total weight and
+             forest size are the deterministic observables. *)
+          snapshot =
+            (fun () ->
+              [| Array.length !last; Rpb_graph.Spanning_forest.forest_weight g !last |]);
         });
   }

@@ -73,5 +73,6 @@ let entry : Common.entry =
                 done;
                 !ok
               end);
+          snapshot = (fun () -> Array.copy !last);
         });
   }

@@ -18,23 +18,26 @@ let entry : Common.entry =
         let g = Graph_inputs.load pool ~name:input ~scale ~weighted:false ~symmetric:true in
         let expected_size = Rpb_graph.Csr.n g - Rpb_graph.Reference.num_components g in
         let last = ref [||] in
+        (* acyclic: replay through a fresh union-find *)
+        let acyclic forest =
+          let edges = Rpb_graph.Csr.edges g in
+          let uf = Rpb_graph.Union_find.create (Rpb_graph.Csr.n g) in
+          Array.for_all
+            (fun e ->
+              let u, v = edges.(e) in
+              Rpb_graph.Union_find.union uf u v)
+            forest
+        in
         {
           Common.size = Graph_inputs.describe g;
           run_seq = (fun () -> last := Rpb_graph.Spanning_forest.spanning_forest_seq g);
           run_par =
             (fun _mode -> last := Rpb_graph.Spanning_forest.spanning_forest pool g);
           verify =
-            (fun () ->
-              Array.length !last = expected_size
-              && begin
-                (* acyclic: replay through a fresh union-find *)
-                let edges = Rpb_graph.Csr.edges g in
-                let uf = Rpb_graph.Union_find.create (Rpb_graph.Csr.n g) in
-                Array.for_all
-                  (fun e ->
-                    let u, v = edges.(e) in
-                    Rpb_graph.Union_find.union uf u v)
-                  !last
-              end);
+            (fun () -> Array.length !last = expected_size && acyclic !last);
+          (* Which edges span is schedule-dependent; the forest size and
+             acyclicity are the specification. *)
+          snapshot =
+            (fun () -> [| Array.length !last; Common.digest_of_bool (acyclic !last) |]);
         });
   }

@@ -80,5 +80,6 @@ let entry : Common.entry =
               last := out);
           run_par = (fun mode -> last := sample_sort_with_mode mode pool data);
           verify = (fun () -> !last = expected);
+          snapshot = (fun () -> Array.copy !last);
         });
   }

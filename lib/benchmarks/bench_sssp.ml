@@ -23,5 +23,6 @@ let entry : Common.entry =
           run_seq = (fun () -> last := Rpb_graph.Reference.dijkstra g ~src:0);
           run_par = (fun _mode -> last := Rpb_graph.Traverse.sssp pool g ~src:0);
           verify = (fun () -> !last = expected);
+          snapshot = (fun () -> Array.copy !last);
         });
   }

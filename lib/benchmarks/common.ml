@@ -5,7 +5,19 @@ type prepared = {
   run_seq : unit -> unit;
   run_par : Mode.t -> unit;
   verify : unit -> bool;
+  snapshot : unit -> int array;
 }
+
+(* Digest helpers for [snapshot] implementations. *)
+
+let digest_of_string s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+let digest_sorted a =
+  let c = Array.copy a in
+  Array.sort compare c;
+  c
+
+let digest_of_bool b = if b then 1 else 0
 
 type entry = {
   name : string;

@@ -7,6 +7,15 @@ type prepared = {
   run_seq : unit -> unit;      (** the sequential baseline (PBBS stand-in) *)
   run_par : Mode.t -> unit;    (** the parallel implementation under a switch *)
   verify : unit -> bool;       (** checks the most recent [run_par] output *)
+  snapshot : unit -> int array;
+      (** canonical integer digest of the most recent run's output, for the
+          differential oracle ([lib/check]): any two {e correct} runs on this
+          prepared input — sequential baseline or any parallel mode, any
+          executor — must produce element-wise equal digests.  Benchmarks
+          with a deterministic output digest the output itself (sorted keys,
+          suffix array, distances...); benchmarks whose output is
+          schedule-dependent but specification-constrained (mis, mm, sf, dr)
+          digest the checked invariants instead. *)
 }
 
 type entry = {
@@ -24,6 +33,17 @@ type entry = {
 
 val scaled : int -> int -> int
 (** [scaled base scale = base * 2^scale]. *)
+
+(** {2 Digest helpers for [snapshot] implementations} *)
+
+val digest_of_string : string -> int array
+(** Byte codes of the string. *)
+
+val digest_sorted : int array -> int array
+(** Sorted copy — canonicalizes outputs whose element {e order} is
+    schedule-dependent (hash-set contents, etc.). *)
+
+val digest_of_bool : bool -> int
 
 type measurement = {
   mean_s : float;  (** arithmetic mean over the repeats *)

@@ -1,0 +1,28 @@
+open Rpb_core
+
+module Scatter_shadow = Scatter.Make (Shadow.Store)
+module Chunks_shadow = Chunks_ind.Make (Shadow.Store)
+
+let unchecked pool ~out ~offsets ~src =
+  Shadow.begin_op out;
+  Scatter_shadow.unchecked pool ~out ~offsets ~src
+
+let checked ?strategy pool ~out ~offsets ~src =
+  Shadow.begin_op out;
+  Scatter_shadow.checked ?strategy pool ~out ~offsets ~src
+
+let atomic pool ~out ~offsets ~src =
+  Shadow.begin_op out;
+  Scatter_shadow.atomic pool ~out ~offsets ~src
+
+let mutexed ?stripes pool ~out ~offsets ~src =
+  Shadow.begin_op out;
+  Scatter_shadow.mutexed ?stripes pool ~out ~offsets ~src
+
+let scatter mode pool ~out ~offsets ~src =
+  Shadow.begin_op out;
+  Scatter_shadow.scatter mode pool ~out ~offsets ~src
+
+let fill_chunks_ind ?check pool ~out ~offsets ~f =
+  Shadow.begin_op out;
+  Chunks_shadow.fill_chunks_ind ?check pool ~out ~offsets ~f

@@ -1,0 +1,43 @@
+(** Shadow-instrumented instances of the fear-spectrum operators.
+
+    Each wrapper opens a fresh {!Shadow.begin_op} epoch and then runs the
+    store-polymorphic operator ([Scatter.Make] / [Chunks_ind.Make]) over the
+    shadow store, so every call is checked independently: writes from two
+    different calls never count as a race, writes within one call to the same
+    slot always do (when instrumentation is on).
+
+    These cover the whole fear spectrum of indirect writes:
+    - SngInd {e scared}: {!unchecked}, {!atomic}, {!mutexed} — no validation;
+      the shadow layer is the only thing standing between a buggy offsets
+      array and silent corruption.
+    - SngInd {e comfortable}: {!checked} — validation raises before the
+      scatter runs; the shadow layer should stay silent.
+    - RngInd: {!fill_chunks_ind} with [~check:false] (scared) or the default
+      monotonicity check (comfortable). *)
+
+open Rpb_pool
+open Rpb_core
+
+val unchecked :
+  Pool.t -> out:'a Shadow.t -> offsets:int array -> src:'a array -> unit
+
+val checked :
+  ?strategy:Scatter.check_strategy -> Pool.t ->
+  out:'a Shadow.t -> offsets:int array -> src:'a array -> unit
+
+val atomic :
+  Pool.t -> out:'a Shadow.t -> offsets:int array -> src:'a array -> unit
+
+val mutexed :
+  ?stripes:int -> Pool.t ->
+  out:'a Shadow.t -> offsets:int array -> src:'a array -> unit
+
+val scatter :
+  Scatter.mode -> Pool.t ->
+  out:'a Shadow.t -> offsets:int array -> src:'a array -> unit
+(** Dispatch on the mode; unlike the plain-array [Scatter.scatter], [Atomic]
+    dispatches too (the store owns the representation). *)
+
+val fill_chunks_ind :
+  ?check:bool -> Pool.t -> out:'a Shadow.t -> offsets:int array ->
+  f:(int -> int -> 'a) -> unit

@@ -1,0 +1,65 @@
+(** The differential oracle — every registered benchmark, three executors,
+    element-wise output diffs, machine-readable verdicts.
+
+    For each benchmark entry the oracle prepares an instance per executor,
+    runs the sequential baseline to obtain the reference digest
+    ([Common.snapshot]), then runs every parallel mode and diffs its digest
+    element-wise against the reference.  The executors:
+
+    - ["seq"]: the deterministic in-order executor (shuffle off) — the
+      reference semantics;
+    - ["shuffled"]: the deterministic executor with a seeded adversarial
+      leaf/join order — catches order-sensitive code without any
+      multi-domain nondeterminism;
+    - ["pool"]: the real work-stealing pool on [threads] domains.
+
+    A shadow self-check rides along: seeded valid scatter/chunk rounds under
+    shadow instrumentation must report zero races (guarding against false
+    positives), and one deliberately duplicated offset must be caught (the
+    canary — guarding against silent false negatives in the detector
+    itself). *)
+
+type mismatch = { at : int; expected : int; actual : int }
+
+type outcome = {
+  bench : string;
+  input : string;
+  executor : string;  (** "seq" | "shuffled" | "pool" *)
+  mode : string;  (** "unsafe" | "checked" | "sync" *)
+  verified : bool;  (** the benchmark's own verifier *)
+  equal : bool;  (** digest element-wise equal to the baseline's *)
+  digest_len : int;
+  mismatches : mismatch list;  (** at most {!max_reported_mismatches} *)
+  error : string option;  (** exception escaping the run, if any *)
+}
+
+val max_reported_mismatches : int
+
+type report = {
+  seed : int;
+  threads : int;
+  scale : int;
+  outcomes : outcome list;
+  shadow_ops : int;  (** instrumented operations in the self-check *)
+  shadow_writes : int;
+  shadow_races : Shadow.race list;  (** races on {e valid} inputs: want [] *)
+  canary_ok : bool;  (** the injected duplicate was detected *)
+}
+
+val run : ?threads:int -> ?scale:int -> ?bench:string -> seed:int -> unit -> report
+(** [run ~seed ()] checks every registry benchmark ([?bench] restricts to
+    one) on its default input at [scale] (default 0 — small inputs; this is
+    a correctness harness, not a timing one).  [threads] (default 4) sizes
+    the work-stealing executor. *)
+
+val ok : report -> bool
+(** All outcomes verified and equal, no shadow race on valid inputs, canary
+    detected. *)
+
+val summary : report -> string
+(** Human-readable multi-line summary. *)
+
+val to_json : report -> Rpb_benchmarks.Bench_json.json
+
+val write_json : path:string -> report -> unit
+(** Writes {!to_json} with [schema_version] and a [kind = "check"] marker. *)

@@ -1,0 +1,15 @@
+open Rpb_pool
+
+let create ?(seed = 0) ?(shuffle = true) () =
+  Pool.create_deterministic ~seed ~shuffle ()
+
+let with_executor ?seed ?shuffle f =
+  let pool = create ?seed ?shuffle () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () -> Pool.run pool (fun () -> f pool))
+
+let replays_equal ?(seed = 0) f =
+  let a = with_executor ~seed f in
+  let b = with_executor ~seed f in
+  a = b

@@ -1,0 +1,33 @@
+(** The deterministic sequential executor — reference semantics for the
+    differential oracle.
+
+    A [Seq_exec] pool is a real [Pool.t] (so every operator, benchmark and
+    library routine runs on it unchanged) with two properties the
+    work-stealing pool cannot give:
+
+    - {b determinism}: everything executes on the calling domain; equal
+      seeds replay the identical schedule, run after run;
+    - {b adversarial ordering}: with [shuffle] on (the default), leaf order
+      and join branch order are drawn from the seed — alternative schedules
+      that a work-stealing run {e could} produce, making order-sensitive
+      code fail reproducibly instead of once a week.
+
+    This is the "run it under the model checker's scheduler" trick at fork-
+    join granularity.  The implementation lives in [Pool]
+    ({!Rpb_pool.Pool.create_deterministic}); this module is the harness
+    entry point. *)
+
+open Rpb_pool
+
+val create : ?seed:int -> ?shuffle:bool -> unit -> Pool.t
+(** [create ~seed ()] — a deterministic one-domain pool.  [shuffle] defaults
+    to [true]. *)
+
+val with_executor : ?seed:int -> ?shuffle:bool -> (Pool.t -> 'a) -> 'a
+(** Create, run the function inside [Pool.run], shut down (also on
+    exceptions). *)
+
+val replays_equal : ?seed:int -> (Pool.t -> int array) -> bool
+(** Runs the function twice under two executors with the same seed and
+    compares the digests — a quick self-test that a computation is
+    deterministic under the sequential executor. *)

@@ -37,3 +37,18 @@ let fill_chunks_ind ?check pool ~out ~offsets ~f =
       for j = lo to hi - 1 do
         Array.unsafe_set out j (f i j)
       done)
+
+(* Store-polymorphic variant, mirroring [Scatter.Make]: each element write is
+   routed through the store with the chunk id as its source label, so a
+   shadow store can attribute overlapping chunk writes to both chunks.  The
+   plain-array path above stays untouched. *)
+module Make (S : Scatter.STORE) = struct
+  let fill_chunks_ind ?check pool ~out ~offsets ~f =
+    let n = S.length out in
+    par_chunks_ind ?check pool ~offsets ~n
+      ~body:(fun i lo hi ->
+        for j = lo to hi - 1 do
+          if j < 0 || j >= n then raise (Range_out_of_bounds j);
+          S.set out ~idx:j ~src:i (f i j)
+        done)
+end

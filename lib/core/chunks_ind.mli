@@ -33,3 +33,13 @@ val fill_chunks_ind :
   f:(int -> int -> 'a) -> unit
 (** Convenience instance of Listing 7(c): [out.(j) <- f i j] for each chunk
     [i] and each [j] in that chunk. *)
+
+(** Store-polymorphic variant of {!fill_chunks_ind} (see {!Scatter.Make}):
+    writes go through the store with the chunk id as source label and an
+    explicit range check (raising {!Range_out_of_bounds}), so instrumented
+    stores see exactly which chunks overlap when the split points are bad. *)
+module Make (S : Scatter.STORE) : sig
+  val fill_chunks_ind :
+    ?check:bool -> Pool.t -> out:'a S.t -> offsets:int array ->
+    f:(int -> int -> 'a) -> unit
+end

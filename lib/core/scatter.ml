@@ -30,21 +30,62 @@ let check_range pool ~n offsets =
    which is all we need), then a second pass checks each index still owns
    its slot.  The fork-join barrier between the passes orders the plain
    writes before the reads.  Exactly one loser exists per duplicated offset,
-   so duplicates are always detected.  Cost: two parallel passes and an
-   O(n) table — the run-time price of "comfort" the paper measures. *)
-let check_unique_mark pool ~n offsets =
-  let slot = Array.make n (-1) in
+   so duplicates are always detected.  Cost: two parallel passes over the
+   table — the run-time price of "comfort" the paper measures.
+
+   The O(n) table itself is cached and reused across calls: slots are
+   validated against an epoch stamp instead of being refilled, so a checked
+   scatter in a loop costs two O(n) array allocations once, not per
+   iteration.  Both stores per slot carry the same epoch value from every
+   writer, so the racy two-word write stays sound: [stamp.(o) = epoch] holds
+   iff some writer targeted [o] this call, and [slot.(o)] then holds exactly
+   one winner.  Concurrent validations from different pools fall back to a
+   private table (the [Mutex.try_lock] miss path) rather than serialize. *)
+type mark_table = {
+  mutable slot : int array;
+  mutable stamp : int array;
+  mutable epoch : int;
+}
+
+let mark_cache = { slot = [||]; stamp = [||]; epoch = 0 }
+let mark_cache_lock = Mutex.create ()
+
+let mark_pass pool ~table ~offsets =
+  let { slot; stamp; epoch } = table in
   Pool.parallel_for ~start:0 ~finish:(Array.length offsets)
-    ~body:(fun i -> Array.unsafe_set slot (Array.unsafe_get offsets i) i)
+    ~body:(fun i ->
+      let o = Array.unsafe_get offsets i in
+      Array.unsafe_set slot o i;
+      Array.unsafe_set stamp o epoch)
     pool;
   let dup = Atomic.make (-1) in
   Pool.parallel_for ~start:0 ~finish:(Array.length offsets)
     ~body:(fun i ->
       let o = Array.unsafe_get offsets i in
-      if Array.unsafe_get slot o <> i then Atomic.set dup o)
+      if Array.unsafe_get stamp o <> epoch || Array.unsafe_get slot o <> i
+      then Atomic.set dup o)
     pool;
   let d = Atomic.get dup in
   if d <> -1 then raise (Duplicate_offset d)
+
+let check_unique_mark pool ~n offsets =
+  if Mutex.try_lock mark_cache_lock then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mark_cache_lock)
+      (fun () ->
+        if Array.length mark_cache.slot < n then begin
+          mark_cache.slot <- Array.make n (-1);
+          mark_cache.stamp <- Array.make n 0;
+          mark_cache.epoch <- 0
+        end;
+        mark_cache.epoch <- mark_cache.epoch + 1;
+        mark_pass pool ~table:mark_cache ~offsets)
+  else
+    (* Another domain is validating with the shared table right now (two
+       pools, or a validation nested inside another): use a throwaway. *)
+    mark_pass pool
+      ~table:{ slot = Array.make n (-1); stamp = Array.make n 0; epoch = 1 }
+      ~offsets
 
 let check_unique_sort _pool offsets =
   let copy = Array.copy offsets in
@@ -119,3 +160,80 @@ let gather pool ~src ~offsets =
       let o = Array.unsafe_get offsets i in
       if o < 0 || o >= n then raise (Offset_out_of_range o);
       Array.unsafe_get src o)
+
+(* ------------------------------------------------------------------ *)
+(* Store-polymorphic scatter.
+
+   The plain-array entry points above stay exactly as they are — that is the
+   zero-cost path the paper prices.  [Make] re-expresses all four modes over
+   an abstract write store so a checking layer (rpb_check's shadow arrays)
+   can observe every indirect write without this module knowing about it.
+   The store receives the destination index *and* the source index of each
+   write, which is what lets a detector report both offending positions of a
+   duplicated offset. *)
+
+module type STORE = sig
+  type 'a t
+
+  val length : 'a t -> int
+
+  val set : 'a t -> idx:int -> src:int -> 'a -> unit
+  (** Write one element.  [idx] has already been range-checked against
+      {!length} by the caller; [src] identifies where the value came from
+      (source position for SngInd, chunk id for RngInd). *)
+end
+
+module Make (S : STORE) = struct
+  let unchecked pool ~out ~offsets ~src =
+    Pool.Trace.span pool "scatter.unchecked" @@ fun () ->
+    length_check ~offsets ~src;
+    let n = S.length out in
+    Pool.parallel_for ~start:0 ~finish:(Array.length src)
+      ~body:(fun i ->
+        let o = Array.unsafe_get offsets i in
+        if o < 0 || o >= n then raise (Offset_out_of_range o);
+        S.set out ~idx:o ~src:i (Array.unsafe_get src i))
+      pool
+
+  let checked ?strategy pool ~out ~offsets ~src =
+    length_check ~offsets ~src;
+    validate_offsets ?strategy pool ~n:(S.length out) offsets;
+    unchecked pool ~out ~offsets ~src
+
+  (* Over an abstract store the "atomic" mode is the same access pattern as
+     [unchecked] — atomicity is the store's representation choice, and it
+     validates nothing, which is exactly the point the paper makes about
+     placating a race detector. *)
+  let atomic pool ~out ~offsets ~src =
+    Pool.Trace.span pool "scatter.atomic" @@ fun () ->
+    length_check ~offsets ~src;
+    let n = S.length out in
+    Pool.parallel_for ~start:0 ~finish:(Array.length src)
+      ~body:(fun i ->
+        let o = Array.unsafe_get offsets i in
+        if o < 0 || o >= n then raise (Offset_out_of_range o);
+        S.set out ~idx:o ~src:i (Array.unsafe_get src i))
+      pool
+
+  let mutexed ?(stripes = 64) pool ~out ~offsets ~src =
+    length_check ~offsets ~src;
+    assert (stripes > 0);
+    let locks = Array.init stripes (fun _ -> Mutex.create ()) in
+    let n = S.length out in
+    Pool.parallel_for ~start:0 ~finish:(Array.length src)
+      ~body:(fun i ->
+        let o = Array.unsafe_get offsets i in
+        if o < 0 || o >= n then raise (Offset_out_of_range o);
+        let m = locks.(o mod stripes) in
+        Mutex.lock m;
+        S.set out ~idx:o ~src:i (Array.unsafe_get src i);
+        Mutex.unlock m)
+      pool
+
+  let scatter mode pool ~out ~offsets ~src =
+    match mode with
+    | Unchecked -> unchecked pool ~out ~offsets ~src
+    | Checked -> checked pool ~out ~offsets ~src
+    | Atomic -> atomic pool ~out ~offsets ~src
+    | Mutexed -> mutexed pool ~out ~offsets ~src
+end

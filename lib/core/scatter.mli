@@ -72,3 +72,43 @@ val scatter :
 val gather : Pool.t -> src:'a array -> offsets:int array -> 'a array
 (** The read-only dual [out.(i) = src.(offsets.(i))]: always safe (regular
     writes), included for completeness and for the benchmarks' read phases. *)
+
+(** {1 Store-polymorphic scatter}
+
+    The plain-array entry points above are the zero-cost path and are not
+    routed through any abstraction.  {!Make} provides the same four modes
+    over an abstract write store, so an instrumented store (rpb_check's
+    shadow arrays) can observe every indirect write — destination index,
+    source index — without the production path paying for it. *)
+
+module type STORE = sig
+  type 'a t
+
+  val length : 'a t -> int
+
+  val set : 'a t -> idx:int -> src:int -> 'a -> unit
+  (** Write one element.  [idx] has been range-checked against {!length} by
+      the caller; [src] identifies the write's origin (source position for
+      SngInd, chunk id for RngInd). *)
+end
+
+module Make (S : STORE) : sig
+  val unchecked :
+    Pool.t -> out:'a S.t -> offsets:int array -> src:'a array -> unit
+
+  val checked :
+    ?strategy:check_strategy -> Pool.t ->
+    out:'a S.t -> offsets:int array -> src:'a array -> unit
+
+  val atomic : Pool.t -> out:'a S.t -> offsets:int array -> src:'a array -> unit
+  (** Same access pattern as [unchecked]; atomicity (or its absence) is the
+      store's representation choice.  Unlike the plain-array {!atomic}, this
+      one is polymorphic, so {!scatter} can dispatch all four modes. *)
+
+  val mutexed :
+    ?stripes:int -> Pool.t ->
+    out:'a S.t -> offsets:int array -> src:'a array -> unit
+
+  val scatter :
+    mode -> Pool.t -> out:'a S.t -> offsets:int array -> src:'a array -> unit
+end

@@ -23,9 +23,18 @@ let c_max_depth = 4
    workers' counters never share one. *)
 let counter_slots = 8
 
+(* How the pool turns a parallel region into an execution order.  [Ws] is the
+   production work-stealing scheduler.  [Seq_det] is the deterministic
+   sequential executor behind [create_deterministic]: one domain, and — when
+   [shuffle] is on — a seeded permutation of the leaf order, so it explores
+   alternative (but valid) fork-join schedules reproducibly.  It is the
+   reference semantics the differential oracle in [lib/check] diffs against. *)
+type sched = Ws | Seq_det of { rng : Rpb_prim.Rng.t; shuffle : bool }
+
 type t = {
   id : int;
   num_workers : int;
+  sched : sched;
   deques : task Ws_deque.t array;
   mutable domains : unit Domain.t array;
   injector : task Queue.t;
@@ -361,12 +370,13 @@ let worker_loop pool idx =
   in
   loop spin_budget
 
-let create ?name:_ ~num_workers () =
+let make_pool ~num_workers ~sched =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
   let pool =
     {
       id = Atomic.fetch_and_add next_pool_id 1;
       num_workers;
+      sched;
       deques = Array.init num_workers (fun _ -> Ws_deque.create ());
       domains = [||];
       injector = Queue.create ();
@@ -384,6 +394,15 @@ let create ?name:_ ~num_workers () =
     Array.init (num_workers - 1) (fun i ->
         Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
+
+let create ?name:_ ~num_workers () = make_pool ~num_workers ~sched:Ws
+
+let create_deterministic ?(seed = 0) ?(shuffle = true) () =
+  make_pool ~num_workers:1
+    ~sched:(Seq_det { rng = Rpb_prim.Rng.create (0xDE7 lxor seed); shuffle })
+
+let deterministic pool =
+  match pool.sched with Ws -> false | Seq_det _ -> true
 
 let shutdown pool =
   if not (Atomic.exchange pool.shutdown_flag true) then begin
@@ -465,18 +484,51 @@ let try_result p =
   | Raised e -> Some (Error e)
 
 let join pool f g =
-  match my_index pool with
-  | None ->
-    let a = f () in
-    let b = g () in
-    (a, b)
-  | Some _ ->
-    let pg = async pool g in
-    let a = f () in
-    let b = await pool pg in
-    (a, b)
+  match pool.sched with
+  | Seq_det { rng; shuffle } ->
+    (* One domain: run both branches here, in a seeded order.  Flipping the
+       order is a legal fork-join schedule (the branches are unordered), so a
+       result that depends on it is order-sensitive by construction. *)
+    if shuffle && Rpb_prim.Rng.bool rng then begin
+      let b = g () in
+      let a = f () in
+      (a, b)
+    end
+    else begin
+      let a = f () in
+      let b = g () in
+      (a, b)
+    end
+  | Ws ->
+    (match my_index pool with
+     | None ->
+       let a = f () in
+       let b = g () in
+       (a, b)
+     | Some _ ->
+       let pg = async pool g in
+       let a = f () in
+       let b = await pool pg in
+       (a, b))
 
 let default_grain (pool : pool) n = max 1 (n / (8 * pool.num_workers))
+
+(* Leaf decomposition used by the deterministic executor: contiguous chunks
+   of at most [grain] indices, visited in a seeded random order but ascending
+   within each leaf — the same guarantee the work-stealing tree gives
+   (in-order leaves, unordered across leaves). *)
+let seq_det_for ~rng ~grain ~start ~finish ~body =
+  let n = finish - start in
+  let leaves = Rpb_prim.Util.ceil_div n grain in
+  let order = Rpb_prim.Rng.permutation rng leaves in
+  Array.iter
+    (fun l ->
+      let lo = start + (l * grain) in
+      let hi = min finish (lo + grain) in
+      for i = lo to hi - 1 do
+        body i
+      done)
+    order
 
 let parallel_for ?grain ~start ~finish ~body pool =
   let n = finish - start in
@@ -484,6 +536,14 @@ let parallel_for ?grain ~start ~finish ~body pool =
     let grain =
       match grain with Some g -> max 1 g | None -> default_grain pool n
     in
+    match pool.sched with
+    | Seq_det { rng; shuffle = true } ->
+      seq_det_for ~rng ~grain ~start ~finish ~body
+    | Seq_det { shuffle = false; _ } ->
+      for i = start to finish - 1 do
+        body i
+      done
+    | Ws ->
     if pool.num_workers = 1 || my_index pool = None then
       for i = start to finish - 1 do
         body i
@@ -518,6 +578,23 @@ let parallel_for_reduce ?grain ~start ~finish ~body ~combine ~init pool =
       done;
       !acc
     in
+    match pool.sched with
+    | Seq_det { rng; shuffle = true } ->
+      (* Evaluate the leaves in a seeded shuffled order, but combine them in
+         index order: execution timing moves, the (associative) combine tree
+         does not — exactly what a parallel schedule may do. *)
+      let leaves = Rpb_prim.Util.ceil_div n grain in
+      let results = Array.make leaves init in
+      let order = Rpb_prim.Rng.permutation rng leaves in
+      Array.iter
+        (fun l ->
+          let lo = start + (l * grain) in
+          let hi = min finish (lo + grain) in
+          results.(l) <- leaf lo hi)
+        order;
+      Array.fold_left combine init results
+    | Seq_det { shuffle = false; _ } -> leaf start finish
+    | Ws ->
     if pool.num_workers = 1 || my_index pool = None then leaf start finish
     else begin
       let rec go lo hi =

@@ -37,6 +37,21 @@ val create : ?name:string -> num_workers:int -> unit -> t
     [num_workers] must be at least 1.  With [num_workers = 1] every operation
     degrades to sequential execution on the caller. *)
 
+val create_deterministic : ?seed:int -> ?shuffle:bool -> unit -> t
+(** A drop-in deterministic sequential executor: a pool of one worker (no
+    domains are spawned) whose parallel operations run entirely on the
+    calling domain in a reproducible order.  With [shuffle] (the default),
+    {!parallel_for} / {!parallel_for_reduce} / {!parallel_chunks} visit their
+    leaves in a seeded random permutation (ascending within each leaf) and
+    {!join} flips branch order by a seeded coin — all schedules a real
+    work-stealing run could produce, so any result difference against the
+    default in-order run exposes an order-sensitive (racy) computation.
+    Equal seeds give equal schedules.  This is the reference executor behind
+    the differential oracle in [lib/check]. *)
+
+val deterministic : t -> bool
+(** Whether the pool was built by {!create_deterministic}. *)
+
 val size : t -> int
 (** Number of workers (including the caller-during-[run]). *)
 

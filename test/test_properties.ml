@@ -237,6 +237,86 @@ let test_chash_zero_and_max_keys () =
   Alcotest.(check bool) "huge key" true (Rpb_chash.Chash.insert t big);
   Alcotest.(check bool) "huge member" true (Rpb_chash.Chash.mem t big)
 
+(* ---------- Fear-spectrum properties (seeded in-test generators) ---------- *)
+
+(* Random permutations: every scatter mode must agree element-wise with the
+   sequential oracle [out.(offsets.(i)) <- src.(i)] — the paper's claim that
+   all fear-spectrum variants compute the same result on valid inputs. *)
+let test_scatter_modes_agree_with_oracle () =
+  in_pool (fun pool ->
+      let rng = Rpb_prim.Rng.create 67 in
+      for _trial = 1 to 25 do
+        let n = 1 + Rpb_prim.Rng.int rng 5000 in
+        let offsets = Rpb_prim.Rng.permutation rng n in
+        let src = Array.init n (fun i -> (i * 31) land 1023) in
+        let oracle = Array.make n (-1) in
+        for i = 0 to n - 1 do
+          oracle.(offsets.(i)) <- src.(i)
+        done;
+        List.iter
+          (fun mode ->
+            match mode with
+            | Rpb_core.Scatter.Atomic ->
+              let out = Rpb_prim.Atomic_array.make n (-1) in
+              Rpb_core.Scatter.atomic pool ~out ~offsets ~src;
+              for j = 0 to n - 1 do
+                if Rpb_prim.Atomic_array.get out j <> oracle.(j) then
+                  Alcotest.failf "atomic disagrees at %d (n=%d)" j n
+              done
+            | _ ->
+              let out = Array.make n (-1) in
+              Rpb_core.Scatter.scatter mode pool ~out ~offsets ~src;
+              if out <> oracle then
+                Alcotest.failf "%s disagrees with oracle (n=%d)"
+                  (Rpb_core.Scatter.mode_name mode) n)
+          Rpb_core.Scatter.all_modes
+      done)
+
+(* Random monotone splits: the parallel ranged-indirect fill must equal
+   sequential chunking, including empty chunks and slots no chunk covers. *)
+let test_chunks_ind_matches_sequential_chunking () =
+  in_pool (fun pool ->
+      let rng = Rpb_prim.Rng.create 71 in
+      for _trial = 1 to 25 do
+        let n = 1 + Rpb_prim.Rng.int rng 4000 in
+        let pieces = 1 + Rpb_prim.Rng.int rng 32 in
+        let splits =
+          Array.init (pieces + 1) (fun _ -> Rpb_prim.Rng.int rng (n + 1))
+        in
+        Array.sort compare splits;
+        let f i j = (i * 1_000_003) + j in
+        let got = Array.make n (-1) in
+        Rpb_core.Chunks_ind.fill_chunks_ind pool ~out:got ~offsets:splits ~f;
+        let expected = Array.make n (-1) in
+        for i = 0 to pieces - 1 do
+          for j = splits.(i) to splits.(i + 1) - 1 do
+            expected.(j) <- f i j
+          done
+        done;
+        if got <> expected then
+          Alcotest.failf "chunks disagree (n=%d pieces=%d)" n pieces
+      done)
+
+(* The instrumented (shadow-store) path must be observationally identical to
+   the zero-cost plain-array path on valid inputs — same payload, no races. *)
+let test_shadow_store_write_through_agrees () =
+  in_pool (fun pool ->
+      Rpb_check.Shadow.with_instrumentation true @@ fun () ->
+      let rng = Rpb_prim.Rng.create 73 in
+      for _trial = 1 to 10 do
+        let n = 1 + Rpb_prim.Rng.int rng 3000 in
+        let offsets = Rpb_prim.Rng.permutation rng n in
+        let src = Array.init n Fun.id in
+        let plain = Array.make n (-1) in
+        Rpb_core.Scatter.unchecked pool ~out:plain ~offsets ~src;
+        let shadow = Rpb_check.Shadow.create ~pool (Array.make n (-1)) in
+        Rpb_check.Instrument.unchecked pool ~out:shadow ~offsets ~src;
+        Alcotest.(check bool) "write-through agrees" true
+          (Rpb_check.Shadow.payload shadow = plain);
+        Alcotest.(check int) "no false positives" 0
+          (Rpb_check.Shadow.race_count shadow)
+      done)
+
 (* ---------- Stm isolation ---------- *)
 
 let test_stm_snapshot_isolation () =
@@ -318,6 +398,15 @@ let () =
         ] );
       ( "chash_edges",
         [ Alcotest.test_case "extreme keys" `Quick test_chash_zero_and_max_keys ] );
+      ( "fear_spectrum",
+        [
+          Alcotest.test_case "scatter modes = oracle" `Quick
+            test_scatter_modes_agree_with_oracle;
+          Alcotest.test_case "chunks = sequential chunking" `Quick
+            test_chunks_ind_matches_sequential_chunking;
+          Alcotest.test_case "shadow store write-through" `Quick
+            test_shadow_store_write_through_agrees;
+        ] );
       ( "stm_isolation",
         [ Alcotest.test_case "snapshot isolation" `Quick test_stm_snapshot_isolation ] );
     ]

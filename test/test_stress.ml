@@ -199,6 +199,62 @@ let test_full_text_stack () =
           Alcotest.(check string) "bwt roundtrip" s
             (Rpb_text.Bwt.decode_parallel pool (Rpb_text.Bwt.encode pool s))))
 
+(* ---------- Shadow-array oracle under multi-domain stress ---------- *)
+
+let test_shadow_no_false_positives_multi_domain () =
+  (* Valid inputs hammered from 4 domains: the race detector must stay
+     silent, and the write-through payload must be the correct scatter. *)
+  with_pool 4 (fun pool ->
+      Pool.run pool (fun () ->
+          Rpb_check.Shadow.with_instrumentation true @@ fun () ->
+          let rng = Rpb_prim.Rng.create 83 in
+          for round = 1 to 8 do
+            let n = 20_000 + Rpb_prim.Rng.int rng 20_000 in
+            let offsets = Rpb_prim.Rng.permutation rng n in
+            let src = Array.init n Fun.id in
+            let out = Rpb_check.Shadow.create ~pool (Array.make n (-1)) in
+            let mode = List.nth Rpb_core.Scatter.all_modes (round mod 4) in
+            Rpb_check.Instrument.scatter mode pool ~out ~offsets ~src;
+            Alcotest.(check int)
+              (Printf.sprintf "round %d (%s): zero races" round
+                 (Rpb_core.Scatter.mode_name mode))
+              0
+              (Rpb_check.Shadow.race_count out);
+            (* Scattering the identity through a permutation yields its
+               inverse — another permutation, so the sorted payload is the
+               identity iff every slot was written exactly once. *)
+            let payload = Array.copy (Rpb_check.Shadow.payload out) in
+            Array.sort compare payload;
+            Alcotest.(check bool) "payload is the full image" true
+              (Rpb_prim.Util.array_for_all_i (fun i v -> i = v) payload)
+          done))
+
+let test_shadow_chunks_no_false_positives_multi_domain () =
+  with_pool 4 (fun pool ->
+      Pool.run pool (fun () ->
+          Rpb_check.Shadow.with_instrumentation true @@ fun () ->
+          let rng = Rpb_prim.Rng.create 89 in
+          for _round = 1 to 8 do
+            let n = 30_000 in
+            let pieces = 1 + Rpb_prim.Rng.int rng 256 in
+            let splits =
+              Array.init (pieces + 1) (fun _ -> Rpb_prim.Rng.int rng (n + 1))
+            in
+            Array.sort compare splits;
+            let out = Rpb_check.Shadow.create ~pool (Array.make n 0) in
+            Rpb_check.Instrument.fill_chunks_ind pool ~out ~offsets:splits
+              ~f:(fun i _ -> i);
+            Alcotest.(check int) "zero races on sorted splits" 0
+              (Rpb_check.Shadow.race_count out)
+          done))
+
+let test_oracle_sort_benchmark_multi_domain () =
+  (* The full differential oracle on the sort benchmark: sequential,
+     shuffled-deterministic and 4-domain work-stealing runs must all agree
+     digest-for-digest, and the shadow self-check must hold. *)
+  let report = Rpb_check.Oracle.run ~threads:4 ~scale:0 ~bench:"sort" ~seed:3 () in
+  Alcotest.(check bool) "sort oracle ok" true (Rpb_check.Oracle.ok report)
+
 (* ---------- Determinism under different worker counts ---------- *)
 
 let test_deterministic_across_worker_counts () =
@@ -245,6 +301,15 @@ let () =
           Alcotest.test_case "burst fan-out" `Quick test_mq_burst_stress;
           Alcotest.test_case "single-lane order" `Quick
             test_mq_priority_respected_in_bulk;
+        ] );
+      ( "shadow_oracle",
+        [
+          Alcotest.test_case "no false positives (scatter)" `Quick
+            test_shadow_no_false_positives_multi_domain;
+          Alcotest.test_case "no false positives (chunks)" `Quick
+            test_shadow_chunks_no_false_positives_multi_domain;
+          Alcotest.test_case "sort differential oracle" `Quick
+            test_oracle_sort_benchmark_multi_domain;
         ] );
       ( "integration",
         [
