@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean check-race
+.PHONY: all build test bench examples doc clean check-race check-fault
 
 all: build
 
@@ -32,6 +32,14 @@ bench-smoke:
 check-race:
 	dune exec bin/rpb.exe -- check --seed 42 --json CHECK_report.json
 
+# CI check-fault job: the scheduler fault-injection sweep (every benchmark
+# under seeded task-exception / slow-scheduler / degraded-pool schedules;
+# each run must either complete with the correct digest or raise cleanly
+# before its deadline), written as a machine-readable FAULT_*.json artifact.
+# The outer timeout is the hang detector of last resort.
+check-fault:
+	timeout 900 dune exec bin/rpb.exe -- faults --seed 42 --deadline 30 --json FAULT_report.json
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/fear_spectrum.exe
@@ -39,6 +47,7 @@ examples:
 	dune exec examples/graph_analytics.exe
 	dune exec examples/mesh_refinement.exe
 	dune exec examples/transactions.exe
+	dune exec examples/failure_semantics.exe
 
 doc:
 	dune build @doc

@@ -258,9 +258,59 @@ let check_cmd =
   Cmd.v (Cmd.info "check" ~doc)
     Term.(const run $ seed $ bench $ threads $ scale $ json)
 
+let faults_run ~seed ~bench ~threads ~scale ~deadline ~json =
+  match Rpb_check.Oracle.fault_sweep ?bench ~threads ~scale ~deadline ~seed () with
+  | report ->
+    print_string (Rpb_check.Oracle.fault_summary report);
+    (match json with
+     | None -> ()
+     | Some path ->
+       Rpb_check.Oracle.write_fault_json ~path report;
+       Printf.printf "wrote fault report to %s\n" path);
+    if Rpb_check.Oracle.fault_ok report then 0 else 2
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s (try `rpb list`)\n" msg;
+    1
+
+let faults_cmd =
+  let doc =
+    "Seeded fault-injection sweep: run every benchmark under Pool.Fault \
+     schedules (injected task exceptions, steal delays, worker stalls, \
+     spawn failures) and assert the failure-semantics contract — each run \
+     either completes with the correct canonical digest or raises a clean \
+     structured error within the deadline, never hangs, never returns a \
+     torn result, and leaves the pool reusable."
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"seed for the fault schedules")
+  in
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench"; "b" ] ~docv:"BENCH"
+             ~doc:"restrict to one benchmark (default: all)")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"P") in
+  let scale = Arg.(value & opt int 0 & info [ "scale"; "s" ] ~docv:"S") in
+  let deadline =
+    Arg.(value & opt float 30.
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"per-run watchdog deadline (Pool.Stalled past it)")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"write the machine-readable report")
+  in
+  let run seed bench threads scale deadline json =
+    exit (faults_run ~seed ~bench ~threads ~scale ~deadline ~json)
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(const run $ seed $ bench $ threads $ scale $ deadline $ json)
+
 let () =
   let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
   let info = Cmd.info "rpb" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; patterns_cmd; run_cmd; stats_cmd; check_cmd ]))
+       (Cmd.group info
+          [ list_cmd; patterns_cmd; run_cmd; stats_cmd; check_cmd; faults_cmd ]))

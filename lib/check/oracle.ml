@@ -295,3 +295,278 @@ let write_json ~path r =
     (fun () ->
       output_string oc (Bench_json.to_string (to_json r));
       output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Fault sweep: the oracle's extension from "detects races" to "survives
+   faults".  Each benchmark runs under seeded [Pool.Fault] schedules; the
+   invariant asserted is the failure-semantics contract — every faulted run
+   either completes with the correct canonical digest, or raises a clean
+   structured error within the deadline.  Never a hang (the [run ?deadline]
+   watchdog converts one into [Pool.Stalled]), never a torn-but-successful
+   result, and the pool stays reusable afterwards. *)
+
+type fault_schedule = { sched_name : string; sched_cfg : Pool.Fault.config }
+
+let fault_schedules =
+  [
+    (* Exceptions at task start: exercises structured cancellation, sibling
+       abandonment and the drain guarantee. *)
+    { sched_name = "task-exn";
+      sched_cfg = { Pool.Fault.off with task_exn = 0.02 } };
+    (* A slow, jittery scheduler: steal delays and worker stalls must never
+       change any result, only timing. *)
+    { sched_name = "slow-sched";
+      sched_cfg =
+        { Pool.Fault.off with
+          steal_delay = 0.2;
+          worker_stall = 0.05;
+          delay_us = 200 } };
+    (* Everything at once, plus spawn failures during [create]: the pool
+       degrades to fewer workers and must still honor the contract. *)
+    { sched_name = "mixed-degrade";
+      sched_cfg =
+        { Pool.Fault.off with
+          task_exn = 0.01;
+          steal_delay = 0.1;
+          spawn_fail = 0.5 } };
+  ]
+
+type fault_outcome = {
+  f_bench : string;
+  f_input : string;
+  f_schedule : string;
+  f_mode : string;
+  f_fault_seed : int;
+  f_completed : bool;  (** [run_par] returned normally *)
+  f_raised : string option;  (** the clean structured error otherwise *)
+  f_stalled : bool;  (** the raise was the deadline watchdog's [Stalled] *)
+  f_digest_equal : bool;  (** meaningful when [f_completed] *)
+  f_verified : bool;  (** meaningful when [f_completed] *)
+  f_pool_reusable : bool;  (** a post-fault sanity run succeeded *)
+  f_injected : int;  (** injections fired during the faulted run *)
+  f_workers : int;
+  f_requested_workers : int;
+  f_elapsed_s : float;
+}
+
+type fault_report = {
+  fr_seed : int;
+  fr_threads : int;
+  fr_scale : int;
+  fr_deadline : float;
+  fr_outcomes : fault_outcome list;
+}
+
+let fault_outcome_ok o =
+  (* The contract: a completed run must carry the right answer; a failed run
+     must have raised (it did — that is how we classified it) and left the
+     pool usable.  [Stalled] counts as a clean failure: the deadline turned
+     a would-be hang into a structured error. *)
+  if o.f_completed then o.f_digest_equal && o.f_verified && o.f_pool_reusable
+  else o.f_raised <> None && o.f_pool_reusable
+
+let sweep_one ~threads ~scale ~deadline ~fault_seed entry sched mode =
+  let input = List.hd entry.Common.inputs in
+  let cfg = { sched.sched_cfg with Pool.Fault.seed = fault_seed } in
+  (* Spawn failures are only meaningful during [create]; arm them alone so
+     preparation and the reference run stay clean. *)
+  if cfg.Pool.Fault.spawn_fail > 0. then
+    Pool.Fault.enable
+      { Pool.Fault.off with
+        seed = fault_seed;
+        spawn_fail = cfg.Pool.Fault.spawn_fail };
+  let pool = Pool.create ~num_workers:threads () in
+  Pool.Fault.disable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.Fault.disable ();
+      Pool.shutdown pool)
+  @@ fun () ->
+  let prepared, reference =
+    Pool.run pool (fun () ->
+        let prepared = entry.Common.prepare pool ~input ~scale in
+        prepared.Common.run_seq ();
+        (prepared, prepared.Common.snapshot ()))
+  in
+  Pool.Fault.enable cfg;
+  let t0 = Unix.gettimeofday () in
+  let result =
+    match Pool.run ~deadline pool (fun () -> prepared.Common.run_par mode) with
+    | () -> Ok ()
+    | exception e -> Error e
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Pool.Fault.disable ();
+  let injected = Pool.Fault.total (Pool.Fault.counts ()) in
+  let stats = Pool.Stats.capture pool in
+  (* Whatever happened, the pool must still work: a fresh run on the same
+     pool computing a known reduction. *)
+  let reusable () =
+    match
+      Pool.run pool (fun () ->
+          Pool.parallel_for_reduce ~start:0 ~finish:1_000 ~body:Fun.id
+            ~combine:( + ) ~init:0 pool)
+    with
+    | n -> n = 499_500
+    | exception _ -> false
+  in
+  let base =
+    {
+      f_bench = entry.Common.name;
+      f_input = input;
+      f_schedule = sched.sched_name;
+      f_mode = Mode.name mode;
+      f_fault_seed = fault_seed;
+      f_completed = false;
+      f_raised = None;
+      f_stalled = false;
+      f_digest_equal = false;
+      f_verified = false;
+      f_pool_reusable = false;
+      f_injected = injected;
+      f_workers = stats.Pool.Stats.num_workers;
+      f_requested_workers = stats.Pool.Stats.requested_workers;
+      f_elapsed_s = elapsed;
+    }
+  in
+  match result with
+  | Ok () ->
+    let verified, equal =
+      Pool.run pool (fun () ->
+          let v = prepared.Common.verify () in
+          let equal, _ = diff_digests reference (prepared.Common.snapshot ()) in
+          (v, equal))
+    in
+    { base with
+      f_completed = true;
+      f_verified = verified;
+      f_digest_equal = equal;
+      f_pool_reusable = reusable ();
+    }
+  | Error e ->
+    { base with
+      f_raised = Some (Printexc.to_string e);
+      f_stalled = (match e with Pool.Stalled _ -> true | _ -> false);
+      f_pool_reusable = reusable ();
+    }
+
+let fault_sweep ?(threads = 4) ?(scale = 0) ?(deadline = 30.) ?bench ~seed () =
+  let entries =
+    match bench with
+    | None -> Registry.all
+    | Some name -> (
+      match Registry.find name with
+      | Some e -> [ e ]
+      | None ->
+        invalid_arg (Printf.sprintf "Oracle.fault_sweep: unknown benchmark %s" name))
+  in
+  let modes = Array.of_list Mode.all in
+  let outcomes =
+    List.concat_map
+      (fun entry ->
+        List.mapi
+          (fun k sched ->
+            (* One distinct fault stream per (benchmark, schedule); rotate
+               the mode so every schedule meets every spectrum point across
+               the suite. *)
+            let fault_seed =
+              Rpb_prim.Rng.hash64
+                (seed lxor Hashtbl.hash (entry.Common.name, k))
+            in
+            let mode = modes.(k mod Array.length modes) in
+            sweep_one ~threads ~scale ~deadline ~fault_seed entry sched mode)
+          fault_schedules)
+      entries
+  in
+  {
+    fr_seed = seed;
+    fr_threads = threads;
+    fr_scale = scale;
+    fr_deadline = deadline;
+    fr_outcomes = outcomes;
+  }
+
+let fault_ok r = List.for_all fault_outcome_ok r.fr_outcomes
+
+let fault_summary r =
+  let b = Buffer.create 512 in
+  let total = List.length r.fr_outcomes in
+  let completed = List.filter (fun o -> o.f_completed) r.fr_outcomes in
+  let failed = List.filter (fun o -> not o.f_completed) r.fr_outcomes in
+  let stalled = List.filter (fun o -> o.f_stalled) r.fr_outcomes in
+  let injected =
+    List.fold_left (fun acc o -> acc + o.f_injected) 0 r.fr_outcomes
+  in
+  let bad = List.filter (fun o -> not (fault_outcome_ok o)) r.fr_outcomes in
+  Buffer.add_string b
+    (Printf.sprintf
+       "faults: %d runs (%d benchmarks x %d schedules), %d injections fired\n"
+       total
+       (total / List.length fault_schedules)
+       (List.length fault_schedules) injected);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  %d completed with correct digests, %d failed cleanly (%d by \
+        deadline), %d violations\n"
+       (List.length completed) (List.length failed) (List.length stalled)
+       (List.length bad));
+  List.iter
+    (fun o ->
+      Buffer.add_string b
+        (Printf.sprintf "  FAIL %s/%s schedule=%s mode=%s%s%s%s\n" o.f_bench
+           o.f_input o.f_schedule o.f_mode
+           (if o.f_completed && not o.f_digest_equal then " [torn digest]"
+            else "")
+           (if o.f_completed && not o.f_verified then " [verify failed]"
+            else "")
+           (if not o.f_pool_reusable then " [pool unusable afterwards]"
+            else "")))
+    bad;
+  Buffer.add_string b
+    (Printf.sprintf "verdict: %s\n" (if fault_ok r then "OK" else "FAIL"));
+  Buffer.contents b
+
+let fault_outcome_to_json o =
+  Bench_json.Obj
+    [
+      ("bench", Bench_json.Str o.f_bench);
+      ("input", Bench_json.Str o.f_input);
+      ("schedule", Bench_json.Str o.f_schedule);
+      ("mode", Bench_json.Str o.f_mode);
+      ("fault_seed", Bench_json.Int o.f_fault_seed);
+      ("completed", Bench_json.Bool o.f_completed);
+      ( "raised",
+        match o.f_raised with
+        | None -> Bench_json.Null
+        | Some e -> Bench_json.Str e );
+      ("stalled", Bench_json.Bool o.f_stalled);
+      ("digest_equal", Bench_json.Bool o.f_digest_equal);
+      ("verified", Bench_json.Bool o.f_verified);
+      ("pool_reusable", Bench_json.Bool o.f_pool_reusable);
+      ("injected", Bench_json.Int o.f_injected);
+      ("workers", Bench_json.Int o.f_workers);
+      ("requested_workers", Bench_json.Int o.f_requested_workers);
+      ("elapsed_s", Bench_json.Float o.f_elapsed_s);
+      ("ok", Bench_json.Bool (fault_outcome_ok o));
+    ]
+
+let fault_to_json r =
+  Bench_json.Obj
+    [
+      ("schema_version", Bench_json.Int Bench_json.schema_version);
+      ("kind", Bench_json.Str "fault");
+      ("seed", Bench_json.Int r.fr_seed);
+      ("threads", Bench_json.Int r.fr_threads);
+      ("scale", Bench_json.Int r.fr_scale);
+      ("deadline_s", Bench_json.Float r.fr_deadline);
+      ("ok", Bench_json.Bool (fault_ok r));
+      ("runs", Bench_json.List (List.map fault_outcome_to_json r.fr_outcomes));
+    ]
+
+let write_fault_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Bench_json.to_string (fault_to_json r));
+      output_char oc '\n')

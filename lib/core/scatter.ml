@@ -74,12 +74,31 @@ let check_unique_mark pool ~n offsets =
       ~finally:(fun () -> Mutex.unlock mark_cache_lock)
       (fun () ->
         if Array.length mark_cache.slot < n then begin
-          mark_cache.slot <- Array.make n (-1);
-          mark_cache.stamp <- Array.make n 0;
+          (* Build the replacement fully before committing either field: if
+             the second allocation throws (Out_of_memory), a torn pair of
+             different lengths must not survive into the next call — the
+             passes index [stamp] by offsets range-checked against [slot]'s
+             length. *)
+          let slot = Array.make n (-1) in
+          let stamp = Array.make n 0 in
+          mark_cache.slot <- slot;
+          mark_cache.stamp <- stamp;
           mark_cache.epoch <- 0
         end;
         mark_cache.epoch <- mark_cache.epoch + 1;
-        mark_pass pool ~table:mark_cache ~offsets)
+        (* A pass that raises (duplicate found, injected task exception,
+           scope cancelled by a sibling) abandons the table partially
+           stamped at the claimed epoch.  The pool drains every task of the
+           failed construct before the exception escapes [mark_pass], so no
+           straggler writes after we unlock; retiring the claimed epoch on
+           the way out additionally makes the partial stamps unmatchable by
+           any later validation. *)
+        match mark_pass pool ~table:mark_cache ~offsets with
+        | () -> ()
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          mark_cache.epoch <- mark_cache.epoch + 1;
+          Printexc.raise_with_backtrace e bt)
   else
     (* Another domain is validating with the shared table right now (two
        pools, or a validation nested inside another): use a throwaway. *)

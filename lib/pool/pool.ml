@@ -4,6 +4,56 @@ type 'a state = Pending | Done of 'a | Raised of exn
 type 'a promise = 'a state Atomic.t
 
 exception Shutdown
+exception Cancelled
+exception Stalled of string
+
+(* ------------------------------------------------------------------ *)
+(* Structured cancellation.
+
+   Every [run] owns one scope.  Tasks spawned during the run carry a
+   reference to it; the first exception escaping a *structured* task (a
+   [join] branch, and with it every [parallel_for]/[parallel_for_reduce]
+   subtree) records itself in [first_exn] and flips [cancel_flag], after
+   which splitters stop descending, not-yet-started tasks of the scope are
+   skipped, and [run] re-raises the recorded exception — but only once
+   [outstanding] has drained to zero, so no task of a failed run is still
+   touching caller state when [run] returns.  The happy-path cost is one
+   atomic load per scheduling decision (split / join / task start), the same
+   budget as the [Trace] switch. *)
+
+type scope = {
+  cancel_flag : bool Atomic.t;
+  first_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
+  outstanding : int Atomic.t;  (** tasks of this scope created but not yet resolved *)
+  deadline_s : float option;  (** the [run ?deadline], bounding drains *)
+}
+
+let new_scope ?deadline () =
+  {
+    cancel_flag = Atomic.make false;
+    first_exn = Atomic.make None;
+    outstanding = Atomic.make 0;
+    deadline_s = deadline;
+  }
+
+(* Per-domain nesting depth of parallel constructs ([join] /
+   [parallel_for(_reduce)] frames and task bodies).  Depth 0 means "the run
+   body": when an exception finishes unwinding back to depth 0 the failure
+   has been delivered to user code, so the scope's stragglers are drained
+   and a fresh scope installed — catching the exception there leaves the
+   run healthy and reusable. *)
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+(* [first_exn] is CAS-published before [cancel_flag] is set, so any observer
+   of a raised flag is guaranteed to find the exception. *)
+let scope_cancel scope e bt =
+  ignore (Atomic.compare_and_set scope.first_exn None (Some (e, bt)));
+  Atomic.set scope.cancel_flag true
+
+let scope_raise scope =
+  match Atomic.get scope.first_exn with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> raise Cancelled
 
 (* ------------------------------------------------------------------ *)
 (* Per-worker counters.
@@ -33,7 +83,11 @@ type sched = Ws | Seq_det of { rng : Rpb_prim.Rng.t; shuffle : bool }
 
 type t = {
   id : int;
-  num_workers : int;
+  (* Actual worker count.  May end up below [requested_workers] when
+     [Domain.spawn] keeps failing and [create] degrades gracefully; written
+     once during [make_pool], racy plain reads afterwards are benign. *)
+  mutable num_workers : int;
+  requested_workers : int;
   sched : sched;
   deques : task Ws_deque.t array;
   mutable domains : unit Domain.t array;
@@ -45,6 +99,7 @@ type t = {
   sleepers : int Atomic.t;
   shutdown_flag : bool Atomic.t;
   running : bool Atomic.t;
+  scope : scope Atomic.t;  (* the active run's cancellation scope *)
   counters : int array array;
 }
 
@@ -78,7 +133,11 @@ module Stats = struct
     max_deque_depth : int;
   }
 
-  type t = { num_workers : int; per_worker : worker array }
+  type t = {
+    num_workers : int;
+    requested_workers : int;
+    per_worker : worker array;
+  }
 
   let total f t = Array.fold_left (fun acc w -> acc + f w) 0 t.per_worker
   let tasks_executed t = total (fun w -> w.tasks_executed) t
@@ -104,6 +163,7 @@ module Stats = struct
     in
     {
       num_workers = after.num_workers;
+      requested_workers = after.requested_workers;
       per_worker =
         Array.mapi
           (fun i wa ->
@@ -114,9 +174,12 @@ module Stats = struct
     }
 
   let summary t =
-    Printf.sprintf "workers=%d tasks=%d steals=%d failed-steals=%d idle=%d"
-      t.num_workers (tasks_executed t) (steals_ok t) (steals_failed t)
-      (idle_episodes t)
+    Printf.sprintf "workers=%d%s tasks=%d steals=%d failed-steals=%d idle=%d"
+      t.num_workers
+      (if t.num_workers < t.requested_workers then
+         Printf.sprintf " (of %d requested)" t.requested_workers
+       else "")
+      (tasks_executed t) (steals_ok t) (steals_failed t) (idle_episodes t)
 
   let to_string t =
     let b = Buffer.create 256 in
@@ -135,9 +198,12 @@ module Stats = struct
   let capture (pool : pool) =
     {
       num_workers = pool.num_workers;
+      requested_workers = pool.requested_workers;
+      (* Counter slabs are allocated for the requested count; only the
+         workers that actually exist are reported. *)
       per_worker =
-        Array.mapi
-          (fun i c ->
+        Array.init pool.num_workers (fun i ->
+            let c = pool.counters.(i) in
             {
               worker_id = i;
               tasks_executed = c.(c_tasks);
@@ -145,8 +211,7 @@ module Stats = struct
               steals_failed = c.(c_steals_failed);
               idle_episodes = c.(c_idle);
               max_deque_depth = c.(c_max_depth);
-            })
-          pool.counters;
+            });
     }
 
   let reset (pool : pool) =
@@ -258,6 +323,135 @@ module Trace = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler fault injection.
+
+   Follows the [Trace]/[Shadow] global-switch pattern: off by default, and
+   every injection site is gated on one atomic load ([armed ()]) so the
+   scheduler hot paths keep their uninstrumented cost.  When enabled, each
+   domain derives a private RNG from the configured seed (and its domain id),
+   and at every scheduler decision point — task start, successful steal,
+   domain spawn — flips a seeded coin against the configured probability.
+   Used by [Oracle.fault_sweep] to prove the runtime fails cleanly: injected
+   task exceptions must propagate structurally, injected delays and stalls
+   must never change results, injected spawn failures must degrade [create]
+   to fewer workers instead of crashing. *)
+
+module Fault = struct
+  type config = {
+    seed : int;  (** derives every per-domain injection stream *)
+    task_exn : float;  (** P(raise [Injected] instead of starting a task) *)
+    steal_delay : float;  (** P(sleep [delay_us] after a successful steal) *)
+    worker_stall : float;  (** P(sleep [delay_us] before executing a task) *)
+    spawn_fail : float;  (** P(a [Domain.spawn] attempt fails) *)
+    delay_us : int;  (** magnitude of injected delays and stalls *)
+  }
+
+  let off =
+    {
+      seed = 0;
+      task_exn = 0.;
+      steal_delay = 0.;
+      worker_stall = 0.;
+      spawn_fail = 0.;
+      delay_us = 50;
+    }
+
+  exception Injected of string
+
+  type counts = {
+    task_exns : int;
+    steal_delays : int;
+    worker_stalls : int;
+    spawn_fails : int;
+  }
+
+  let enabled_flag = Atomic.make false
+  let config = Atomic.make off
+
+  (* Bumped on every [enable] so cached per-domain RNGs re-seed. *)
+  let generation = Atomic.make 0
+  let n_task = Atomic.make 0
+  let n_steal = Atomic.make 0
+  let n_stall = Atomic.make 0
+  let n_spawn = Atomic.make 0
+  let armed () = Atomic.get enabled_flag
+
+  let enable cfg =
+    Atomic.set config cfg;
+    Atomic.set n_task 0;
+    Atomic.set n_steal 0;
+    Atomic.set n_stall 0;
+    Atomic.set n_spawn 0;
+    Atomic.incr generation;
+    Atomic.set enabled_flag true
+
+  let disable () = Atomic.set enabled_flag false
+
+  let counts () =
+    {
+      task_exns = Atomic.get n_task;
+      steal_delays = Atomic.get n_steal;
+      worker_stalls = Atomic.get n_stall;
+      spawn_fails = Atomic.get n_spawn;
+    }
+
+  let total c = c.task_exns + c.steal_delays + c.worker_stalls + c.spawn_fails
+
+  let rng_key : (int * Rpb_prim.Rng.t) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let my_rng () =
+    let slot = Domain.DLS.get rng_key in
+    let gen = Atomic.get generation in
+    match !slot with
+    | Some (g, rng) when g = gen -> rng
+    | _ ->
+      let cfg = Atomic.get config in
+      let rng =
+        Rpb_prim.Rng.create
+          (Rpb_prim.Rng.hash64
+             (cfg.seed lxor (((Domain.self () :> int) + 1) * 0x9E3779B9)))
+      in
+      slot := Some (gen, rng);
+      rng
+
+  let fire p = p > 0. && Rpb_prim.Rng.float (my_rng ()) 1.0 < p
+
+  let delay cfg =
+    if cfg.delay_us > 0 then Unix.sleepf (float_of_int cfg.delay_us *. 1e-6)
+
+  (* Injection sites.  Callers gate each on [armed ()]. *)
+
+  let task_site () =
+    let cfg = Atomic.get config in
+    if fire cfg.task_exn then begin
+      let n = Atomic.fetch_and_add n_task 1 in
+      raise (Injected (Printf.sprintf "task-exn #%d" n))
+    end
+
+  let steal_site () =
+    let cfg = Atomic.get config in
+    if fire cfg.steal_delay then begin
+      Atomic.incr n_steal;
+      delay cfg
+    end
+
+  let stall_site () =
+    let cfg = Atomic.get config in
+    if fire cfg.worker_stall then begin
+      Atomic.incr n_stall;
+      delay cfg
+    end
+
+  let spawn_site () =
+    let cfg = Atomic.get config in
+    if fire cfg.spawn_fail then begin
+      Atomic.incr n_spawn;
+      raise (Injected "spawn-fail")
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 
 (* Eventcount-style wakeup: pushers bump [wake_version] then broadcast if any
    worker registered as sleeping; sleepers re-check the version under the
@@ -311,6 +505,7 @@ let try_find_task pool my_idx rng =
           match Ws_deque.steal pool.deques.(v) with
           | Some _ as t ->
             c.(c_steals_ok) <- c.(c_steals_ok) + 1;
+            if Fault.armed () then Fault.steal_site ();
             t
           | None ->
             c.(c_steals_failed) <- c.(c_steals_failed) + 1;
@@ -324,6 +519,7 @@ let try_find_task pool my_idx rng =
 let execute pool idx task =
   let c = pool.counters.(idx) in
   c.(c_tasks) <- c.(c_tasks) + 1;
+  if Fault.armed () then Fault.stall_site ();
   if Trace.enabled () then begin
     let t0 = Trace.now_us () in
     match task () with
@@ -370,12 +566,34 @@ let worker_loop pool idx =
   in
   loop spin_budget
 
+(* Spawning a domain can fail (OS thread limits, injected faults): retry a
+   few times with capped backoff, and report a permanent failure as [None] so
+   [make_pool] can degrade to fewer workers instead of crashing. *)
+let spawn_attempts = 3
+
+let spawn_worker pool idx =
+  let rec attempt k backoff_s =
+    match
+      if Fault.armed () then Fault.spawn_site ();
+      Domain.spawn (fun () -> worker_loop pool idx)
+    with
+    | d -> Some d
+    | exception _ ->
+      if k >= spawn_attempts then None
+      else begin
+        Unix.sleepf backoff_s;
+        attempt (k + 1) (Float.min (backoff_s *. 4.) 0.05)
+      end
+  in
+  attempt 1 0.001
+
 let make_pool ~num_workers ~sched =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
   let pool =
     {
       id = Atomic.fetch_and_add next_pool_id 1;
       num_workers;
+      requested_workers = num_workers;
       sched;
       deques = Array.init num_workers (fun _ -> Ws_deque.create ());
       domains = [||];
@@ -387,12 +605,23 @@ let make_pool ~num_workers ~sched =
       sleepers = Atomic.make 0;
       shutdown_flag = Atomic.make false;
       running = Atomic.make false;
+      scope = Atomic.make (new_scope ());
       counters = Array.init num_workers (fun _ -> Array.make counter_slots 0);
     }
   in
-  pool.domains <-
-    Array.init (num_workers - 1) (fun i ->
-        Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  (* Graceful degradation: stop at the first worker whose spawn keeps
+     failing, shrink the pool to the workers that exist (indices stay
+     contiguous), and let [Stats] report actual vs requested. *)
+  let domains = ref [] in
+  (try
+     for i = 1 to num_workers - 1 do
+       match spawn_worker pool i with
+       | Some d -> domains := d :: !domains
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  pool.domains <- Array.of_list (List.rev !domains);
+  pool.num_workers <- Array.length pool.domains + 1;
   pool
 
 let create ?name:_ ~num_workers () = make_pool ~num_workers ~sched:Ws
@@ -404,32 +633,98 @@ let create_deterministic ?(seed = 0) ?(shuffle = true) () =
 let deterministic pool =
   match pool.sched with Ws -> false | Seq_det _ -> true
 
+(* Resolve every task still sitting in a queue by running its wrapper: with
+   [shutdown_flag] set the wrapper fails the promise with [Shutdown] (and with
+   a cancelled scope, with [Cancelled]) without touching user code.  Called
+   after the worker domains have been joined, so the queues are no longer
+   being consumed concurrently — but [Ws_deque.steal] and the injector mutex
+   make the sweep safe even against a racing producer. *)
+let fail_pending pool =
+  let rec drain_injector () =
+    match take_injected pool with
+    | Some task ->
+      task ();
+      drain_injector ()
+    | None -> ()
+  in
+  drain_injector ();
+  Array.iter
+    (fun dq ->
+      let rec go () =
+        match Ws_deque.steal dq with
+        | Some task ->
+          task ();
+          go ()
+        | None -> ()
+      in
+      go ())
+    pool.deques
+
 let shutdown pool =
   if not (Atomic.exchange pool.shutdown_flag true) then begin
     Mutex.lock pool.idle_mutex;
     Condition.broadcast pool.idle_cond;
     Mutex.unlock pool.idle_mutex;
     Array.iter Domain.join pool.domains;
-    pool.domains <- [||]
+    pool.domains <- [||];
+    (* Don't strand pending promises: fail them so a concurrent [await]
+       raises [Shutdown] instead of polling forever. *)
+    fail_pending pool
   end
 
 let check_alive pool = if Atomic.get pool.shutdown_flag then raise Shutdown
 
-let make_task f p () =
-  (match f () with
-   | x -> Atomic.set p (Done x)
-   | exception e -> Atomic.set p (Raised e))
+(* The task wrapper.  Structured tasks ([join] branches, and through them
+   every [parallel_for] subtree) publish their exception to the scope before
+   resolving the promise; unstructured tasks (public [async]) keep the
+   exception private to the promise, because callers like [Speculate] and
+   [Future] legitimately await-and-handle failures without wanting to tear
+   down the whole run. *)
+let make_task pool ~structured scope f p () =
+  (if Atomic.get pool.shutdown_flag then Atomic.set p (Raised Shutdown)
+   else if Atomic.get scope.cancel_flag then
+     (* The scope failed before this task started: abandon it. *)
+     Atomic.set p (Raised Cancelled)
+   else begin
+     (* Task bodies execute at depth >= 1: an exception unwinding inside a
+        stolen task must not be mistaken for delivery to the run body. *)
+     let d = Domain.DLS.get depth_key in
+     incr d;
+     (match
+        if Fault.armed () then Fault.task_site ();
+        f ()
+      with
+      | x ->
+        decr d;
+        Atomic.set p (Done x)
+      | exception e ->
+        decr d;
+        let bt = Printexc.get_raw_backtrace () in
+        if structured then scope_cancel scope e bt;
+        Atomic.set p (Raised e))
+   end);
+  Atomic.decr scope.outstanding
 
-let async pool f =
-  check_alive pool;
+let spawn_task pool ~structured scope f =
   let p = Atomic.make Pending in
+  Atomic.incr scope.outstanding;
+  let t = make_task pool ~structured scope f p in
   (match my_index pool with
-   | Some idx -> push_local pool idx (make_task f p)
+   | Some idx -> push_local pool idx t
    | None ->
      if pool.num_workers = 1 then
        (* No workers to pick the task up: run it eagerly. *)
-       make_task f p ()
-     else push_external pool (make_task f p));
+       t ()
+     else push_external pool t);
+  p
+
+let async pool f =
+  check_alive pool;
+  let p = spawn_task pool ~structured:false (Atomic.get pool.scope) f in
+  (* Close the race with a concurrent [shutdown]: if the flag flipped after
+     [check_alive], [shutdown]'s own drain may already have swept past our
+     freshly pushed task — resolve whatever is still queued ourselves. *)
+  if Atomic.get pool.shutdown_flag then fail_pending pool;
   p
 
 (* Helping wait: while the promise is pending, execute other pool tasks.  A
@@ -467,14 +762,29 @@ let await pool p =
      in
      help 64
    | None ->
-     let rec wait () =
+     (* Off-pool waiter: spin briefly, then back off exponentially from 1 µs
+        up to 1 ms — a freshly failed or resolved task is observed promptly
+        without burning a core, and the worst-case poll latency stays three
+        orders of magnitude below the old fixed 100 µs × forever loop's
+        pathological wakeup storms under load. *)
+     let rec wait delay =
        match Atomic.get p with
        | Pending ->
-         Unix.sleepf 1e-4;
-         wait ()
+         Unix.sleepf delay;
+         wait (Float.min (delay *. 2.) 1e-3)
        | Done _ | Raised _ -> ()
      in
-     wait ());
+     let rec spin k =
+       match Atomic.get p with
+       | Pending ->
+         if k > 0 then begin
+           Domain.cpu_relax ();
+           spin (k - 1)
+         end
+         else wait 1e-6
+       | Done _ | Raised _ -> ()
+     in
+     spin 64);
   finish ()
 
 let try_result p =
@@ -482,6 +792,76 @@ let try_result p =
   | Pending -> None
   | Done x -> Some (Ok x)
   | Raised e -> Some (Error e)
+
+(* Wait until every task spawned under [scope] has resolved its promise,
+   helping to execute queued ones — each observes [cancel_flag] and resolves
+   as [Cancelled] without running user code.  Unbounded by default (a stuck
+   task means caller state is still referenced and returning would be
+   unsound); when the run had a deadline we give up after it and warn rather
+   than hang. *)
+let drain_scope pool scope =
+  if Atomic.get scope.outstanding > 0 then begin
+    let idx = match my_index pool with Some i -> i | None -> 0 in
+    let rng = Rpb_prim.Rng.create (0xD4A1 + idx) in
+    let give_up =
+      match scope.deadline_s with
+      | None -> Float.infinity
+      | Some d -> Unix.gettimeofday () +. d +. 0.1
+    in
+    let rec wait delay =
+      if Atomic.get scope.outstanding > 0 then
+        if Unix.gettimeofday () > give_up then
+          Printf.eprintf
+            "rpb_pool: warning: giving up drain with %d task(s) of a failed \
+             scope still outstanding\n\
+             %!"
+            (Atomic.get scope.outstanding)
+        else begin
+          match try_find_task pool idx rng with
+          | Some task ->
+            execute pool idx task;
+            wait 1e-6
+          | None ->
+            Unix.sleepf delay;
+            wait (Float.min (delay *. 2.) 1e-3)
+        end
+    in
+    wait 1e-6
+  end
+
+(* A parallel-construct frame.  Tracks per-domain nesting; when a failure
+   finishes unwinding out of the outermost construct — the next stop is user
+   code in the run body — the scope's outstanding tasks are drained and a
+   fresh scope installed before re-raising.  So by the time user code can
+   observe the exception (a) no task of the failed scope is still running
+   against live state, and (b) catching it leaves the pool's current run
+   healthy: subsequent parallel calls work.  [Cancelled] (the splitters'
+   relay signal) is unwrapped to the first recorded failure here. *)
+let with_construct pool k =
+  let scope = Atomic.get pool.scope in
+  let d = Domain.DLS.get depth_key in
+  incr d;
+  match k scope with
+  | x ->
+    decr d;
+    x
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    decr d;
+    if !d = 0 then begin
+      drain_scope pool scope;
+      let e, bt =
+        match e with
+        | Cancelled -> (
+          match Atomic.get scope.first_exn with
+          | Some (e0, bt0) -> (e0, bt0)
+          | None -> (e, bt))
+        | _ -> (e, bt)
+      in
+      Atomic.set pool.scope (new_scope ?deadline:scope.deadline_s ());
+      Printexc.raise_with_backtrace e bt
+    end
+    else Printexc.raise_with_backtrace e bt
 
 let join pool f g =
   match pool.sched with
@@ -506,10 +886,25 @@ let join pool f g =
        let b = g () in
        (a, b)
      | Some _ ->
-       let pg = async pool g in
-       let a = f () in
-       let b = await pool pg in
-       (a, b))
+       with_construct pool (fun scope ->
+           (* Abandon early: a failed sibling anywhere in the scope stops
+              this subtree before it forks more work.  One atomic load when
+              healthy. *)
+           if Atomic.get scope.cancel_flag then scope_raise scope;
+           let pg = spawn_task pool ~structured:true scope g in
+           match f () with
+           | a ->
+             let b = await pool pg in
+             (a, b)
+           | exception ef ->
+             let bt = Printexc.get_raw_backtrace () in
+             scope_cancel scope ef bt;
+             (* The sibling may already be running on another worker and
+                referencing caller state: wait for its promise to resolve (it
+                is skipped if it has not started) before unwinding, so the
+                exception never races its own branch's stack frames. *)
+             (match await pool pg with _ -> () | exception _ -> ());
+             Printexc.raise_with_backtrace ef bt))
 
 let default_grain (pool : pool) n = max 1 (n / (8 * pool.num_workers))
 
@@ -548,20 +943,26 @@ let parallel_for ?grain ~start ~finish ~body pool =
       for i = start to finish - 1 do
         body i
       done
-    else begin
-      let rec go lo hi =
-        if hi - lo <= grain then
-          for i = lo to hi - 1 do
-            body i
-          done
-        else begin
-          let mid = lo + ((hi - lo) / 2) in
-          let ((), ()) = join pool (fun () -> go lo mid) (fun () -> go mid hi) in
-          ()
-        end
-      in
-      go start finish
-    end
+    else
+      with_construct pool (fun scope ->
+          let rec go lo hi =
+            (* Check before descending: a failed scope stops splitting (and
+               skips this whole subtree) instead of running siblings of the
+               failed leaf to completion. *)
+            if Atomic.get scope.cancel_flag then scope_raise scope;
+            if hi - lo <= grain then
+              for i = lo to hi - 1 do
+                body i
+              done
+            else begin
+              let mid = lo + ((hi - lo) / 2) in
+              let ((), ()) =
+                join pool (fun () -> go lo mid) (fun () -> go mid hi)
+              in
+              ()
+            end
+          in
+          go start finish)
   end
 
 let parallel_for_reduce ?grain ~start ~finish ~body ~combine ~init pool =
@@ -596,17 +997,20 @@ let parallel_for_reduce ?grain ~start ~finish ~body ~combine ~init pool =
     | Seq_det { shuffle = false; _ } -> leaf start finish
     | Ws ->
     if pool.num_workers = 1 || my_index pool = None then leaf start finish
-    else begin
-      let rec go lo hi =
-        if hi - lo <= grain then leaf lo hi
-        else begin
-          let mid = lo + ((hi - lo) / 2) in
-          let a, b = join pool (fun () -> go lo mid) (fun () -> go mid hi) in
-          combine a b
-        end
-      in
-      go start finish
-    end
+    else
+      with_construct pool (fun scope ->
+          let rec go lo hi =
+            if Atomic.get scope.cancel_flag then scope_raise scope;
+            if hi - lo <= grain then leaf lo hi
+            else begin
+              let mid = lo + ((hi - lo) / 2) in
+              let a, b =
+                join pool (fun () -> go lo mid) (fun () -> go mid hi)
+              in
+              combine a b
+            end
+          in
+          go start finish)
   end
 
 let parallel_chunks ?grain ~start ~finish ~body pool =
@@ -624,20 +1028,96 @@ let parallel_chunks ?grain ~start ~finish ~body pool =
       pool
   end
 
-let run pool f =
+(* Deadline watchdog: a side domain that polls until the run finishes or the
+   deadline passes, then cancels the run's *current* scope — construct
+   recovery may have replaced the one installed at [run] entry — with
+   [Stalled] carrying a per-worker counter dump, and wakes any sleeping
+   workers so the flag is observed.  Running tasks are not interrupted
+   (OCaml has no asynchronous cancellation); splitters and fresh tasks
+   observe the flag at their next check, which is what turns a CI hang into
+   a structured failure. *)
+let start_watchdog pool deadline_s =
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let rec loop () =
+          if not (Atomic.get stop) then
+            if Unix.gettimeofday () -. t0 > deadline_s then begin
+              let dump = Stats.to_string (Stats.capture pool) in
+              scope_cancel
+                (Atomic.get pool.scope)
+                (Stalled
+                   (Printf.sprintf
+                      "Pool.run exceeded its %.3fs deadline; per-worker \
+                       counters:\n\
+                       %s"
+                      deadline_s dump))
+                (Printexc.get_callstack 0);
+              signal_work pool
+            end
+            else begin
+              Unix.sleepf 0.01;
+              loop ()
+            end
+        in
+        loop ())
+  in
+  (stop, d)
+
+let run ?deadline pool f =
   check_alive pool;
   (match my_index pool with
    | Some _ -> invalid_arg "Pool.run: nested run on the same pool"
    | None -> ());
+  (match deadline with
+   | Some d when d <= 0. -> invalid_arg "Pool.run: deadline must be positive"
+   | _ -> ());
   if Atomic.exchange pool.running true then
     invalid_arg "Pool.run: pool already has an active run";
+  Atomic.set pool.scope (new_scope ?deadline ());
   let slot = Domain.DLS.get slot_key in
   slot := Some (pool.id, 0);
-  Fun.protect
-    ~finally:(fun () ->
-      slot := None;
-      Atomic.set pool.running false)
-    f
+  let watchdog = Option.map (start_watchdog pool) deadline in
+  (* Leave no task of this run behind: whether [f] returns or raises, every
+     outstanding promise of the run's current scope is resolved before
+     control goes back to the caller (construct recovery already drained any
+     earlier failed scope), so pool tasks never reference a dead stack
+     frame. *)
+  let finish () =
+    let scope = Atomic.get pool.scope in
+    drain_scope pool scope;
+    (match watchdog with
+     | None -> ()
+     | Some (stop, d) ->
+       Atomic.set stop true;
+       Domain.join d);
+    slot := None;
+    Atomic.set pool.scope (new_scope ());
+    Atomic.set pool.running false;
+    scope
+  in
+  match f () with
+  | x ->
+    (* The body completed, but the watchdog may have flagged the scope (a
+       deadline overrun spent in un-cancellable work): surface [Stalled]
+       rather than pretend the deadline held. *)
+    let scope = finish () in
+    if Atomic.get scope.cancel_flag then scope_raise scope;
+    x
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    let scope = Atomic.get pool.scope in
+    (* Flag the scope so queued tasks resolve as [Cancelled] instead of
+       executing against a dying run, then drain them. *)
+    scope_cancel scope e bt;
+    ignore (finish ());
+    (match e with
+     | Cancelled ->
+       (* Relay signal (e.g. [await] of a cancelled promise at the run-body
+          level): unwrap to the first recorded failure. *)
+       scope_raise scope
+     | _ -> Printexc.raise_with_backtrace e bt)
 
 let current_worker = my_index
 

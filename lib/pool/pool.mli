@@ -22,20 +22,61 @@
 
     The scheduler is instrumented: every worker keeps private, cache-line
     padded counters (see {!Stats}) and every hot path carries an optional
-    tracing hook (see {!Trace}) that costs one atomic load when disabled. *)
+    tracing hook (see {!Trace}) that costs one atomic load when disabled.
+
+    {2 Failure semantics}
+
+    Every {!run} owns a {e cancellation scope}.  The first exception raised
+    by a structured task (a {!join} branch, and through [join] every
+    {!parallel_for} / {!parallel_for_reduce} / {!parallel_chunks} subtree)
+    is recorded in the scope and flips its cancel flag; after that, splitters
+    and [join] stop descending and fresh tasks of the scope resolve as
+    {!Cancelled} without running user code, so sibling work is abandoned
+    early rather than run to completion.  Before {!run} returns or re-raises
+    it {e drains} the scope — waits for every outstanding task promise to
+    resolve — so no pool task can still reference the caller's stack or
+    buffers after [run] exits.  The exception that surfaces from [run] is the
+    {e first} recorded failure, with its original backtrace.
+
+    Unstructured tasks ({!async}) keep their exception private to the
+    promise: {!await} re-raises it to whoever awaits, but it does not cancel
+    the scope — callers that await-and-handle failures (futures,
+    speculation) do not tear down unrelated work.
+
+    {!shutdown} fails all still-pending promises with {!Shutdown} instead of
+    stranding a concurrent {!await} forever.  All checks on the scheduling
+    hot paths cost one plain/atomic load while the run is healthy. *)
 
 type t
 
 type 'a promise
 
 exception Shutdown
-(** Raised by operations on a pool after {!shutdown}. *)
+(** Raised by operations on a pool after {!shutdown}, and stored into any
+    promise still pending when {!shutdown} runs. *)
+
+exception Cancelled
+(** Resolution of a task that was abandoned because its scope had already
+    failed when the task was about to start (or when a splitter observed the
+    failed scope).  User code normally never sees it: {!run} unwraps it to
+    the scope's first recorded exception. *)
+
+exception Stalled of string
+(** Raised out of {!run} when the [?deadline] watchdog fired.  The payload
+    carries the deadline and a per-worker counter dump ({!Stats.to_string})
+    taken at expiry, for post-mortem. *)
 
 val create : ?name:string -> num_workers:int -> unit -> t
 (** [create ~num_workers ()] spawns [num_workers - 1] worker domains; the
     domain that later calls {!run} acts as the remaining worker.
     [num_workers] must be at least 1.  With [num_workers = 1] every operation
-    degrades to sequential execution on the caller. *)
+    degrades to sequential execution on the caller.
+
+    Graceful degradation: if [Domain.spawn] fails (resource exhaustion), the
+    attempt is retried with capped backoff and, if it keeps failing, the pool
+    is created with however many workers did spawn instead of crashing.  The
+    shortfall is visible as {!Stats.requested_workers} vs
+    {!Stats.num_workers}. *)
 
 val create_deterministic : ?seed:int -> ?shuffle:bool -> unit -> t
 (** A drop-in deterministic sequential executor: a pool of one worker (no
@@ -55,27 +96,52 @@ val deterministic : t -> bool
 val size : t -> int
 (** Number of workers (including the caller-during-[run]). *)
 
-val run : t -> (unit -> 'a) -> 'a
+val run : ?deadline:float -> t -> (unit -> 'a) -> 'a
 (** [run pool f] executes [f] with the calling domain installed as worker 0.
     Nested [run] on the same pool from inside a task is not allowed.
-    Exceptions raised by [f] propagate. *)
+
+    On failure the scope is cancelled, outstanding tasks are drained (see
+    {e Failure semantics} above), and the first recorded exception re-raises
+    with its original backtrace — [run] never returns or raises while a task
+    of this run is still executing.  After an exceptional [run] the pool is
+    healthy and reusable; the next [run] gets a fresh scope.
+
+    [?deadline] (seconds, must be positive) starts a watchdog domain: if the
+    run is still going when it expires, the scope is cancelled with
+    {!Stalled} carrying a per-worker counter dump.  Tasks already running are
+    not interrupted — the deadline bounds runs whose remaining work consists
+    of cancellable splitters and queued tasks, which is what turns a CI hang
+    into a structured failure. *)
 
 val shutdown : t -> unit
-(** Terminates the worker domains and joins them.  Idempotent. *)
+(** Terminates the worker domains and joins them, then fails every promise
+    still [Pending] with {!Shutdown} so concurrent {!await}s raise instead of
+    polling forever.  Idempotent. *)
 
 val async : t -> (unit -> 'a) -> 'a promise
-(** Schedule a task.  Must be called from within {!run} or from a pool task. *)
+(** Schedule a task.  Must be called from within {!run} or from a pool task.
+    An exception in the task is private to the promise (it does not cancel
+    the enclosing run); it re-raises at {!await}. *)
 
 val await : t -> 'a promise -> 'a
-(** Wait for a promise, executing other pool tasks while waiting.  Re-raises
-    the task's exception if it failed. *)
+(** Wait for a promise, executing other pool tasks while waiting (a worker
+    never blocks here).  Off-pool waiters spin briefly, then back off
+    exponentially (1 µs doubling to 1 ms cap).  Re-raises the task's
+    exception if it failed. *)
 
 val try_result : 'a promise -> ('a, exn) result option
 (** Non-blocking peek: [None] while the task is still pending. *)
 
 val join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** [join pool f g] runs [f] and [g] potentially in parallel and returns both
-    results — the Rayon [join] of the paper's Listing 9. *)
+    results — the Rayon [join] of the paper's Listing 9.
+
+    If either branch raises, the run's scope is cancelled and the exception
+    propagates — but only after the sibling branch's promise has resolved
+    (it is skipped if it had not started), so the unwind never races a
+    branch still executing against the caller's frames.  If the scope was
+    already cancelled when [join] is entered, it re-raises the first
+    recorded exception instead of forking. *)
 
 val parallel_for : ?grain:int -> start:int -> finish:int -> body:(int -> unit) -> t -> unit
 (** [parallel_for ~start ~finish ~body pool] applies [body] to every index in
@@ -120,7 +186,13 @@ module Stats : sig
     max_deque_depth : int;  (** high-water mark of this worker's own deque *)
   }
 
-  type t = { num_workers : int; per_worker : worker array }
+  type t = {
+    num_workers : int;  (** workers actually running *)
+    requested_workers : int;
+        (** workers asked for at {!create}; [> num_workers] iff the pool
+            degraded because [Domain.spawn] kept failing *)
+    per_worker : worker array;
+  }
 
   val capture : pool -> t
   (** Snapshot the live counters.  Cheap (one racy read per counter); safe to
@@ -178,6 +250,57 @@ module Trace : sig
   val stop_to_file : string -> int
   (** Stop recording, write all buffered events as Chrome-trace JSON to the
       given path, clear the buffers, and return the number of events. *)
+end
+
+(** {1 Scheduler fault injection}
+
+    A process-global switch in the {!Trace} mold: while disabled (the
+    default) every injection site costs one atomic load.  When enabled, each
+    domain derives a private RNG stream from the configured seed and flips a
+    coin at every scheduler decision point — task start (inject an
+    exception), successful steal (inject a delay), task execution (stall the
+    worker), [Domain.spawn] (fail the spawn).  Equal seeds give equal
+    per-domain streams, so a failing schedule is replayable.
+
+    This is the probe behind [Oracle.fault_sweep] ([rpb faults]): under
+    injected faults every benchmark must either produce its canonical digest
+    or raise a clean structured error within a deadline — never hang, never
+    return a torn result. *)
+
+module Fault : sig
+  type config = {
+    seed : int;  (** derives every per-domain injection stream *)
+    task_exn : float;  (** P(raise {!Injected} instead of starting a task) *)
+    steal_delay : float;  (** P(sleep [delay_us] after a successful steal) *)
+    worker_stall : float;  (** P(sleep [delay_us] before executing a task) *)
+    spawn_fail : float;  (** P(a [Domain.spawn] attempt fails) *)
+    delay_us : int;  (** magnitude of injected delays and stalls *)
+  }
+
+  val off : config
+  (** All probabilities zero; [delay_us = 50]. *)
+
+  exception Injected of string
+  (** The exception thrown at armed task/spawn sites.  Code under test must
+      treat it like any other task failure. *)
+
+  type counts = {
+    task_exns : int;
+    steal_delays : int;
+    worker_stalls : int;
+    spawn_fails : int;
+  }
+
+  val armed : unit -> bool
+  val enable : config -> unit
+  (** Zeroes the counters, re-seeds every domain's stream, arms the sites. *)
+
+  val disable : unit -> unit
+
+  val counts : unit -> counts
+  (** Injections fired since the last {!enable}. *)
+
+  val total : counts -> int
 end
 
 val stats : t -> string

@@ -407,6 +407,58 @@ let test_oracle_detects_order_sensitivity () =
   Alcotest.(check bool) "shuffled schedule exposes order-sensitivity" true
     disagrees
 
+(* ---------- The fault sweep ---------- *)
+
+let test_fault_sweep_single_bench () =
+  let report =
+    Oracle.fault_sweep ~threads:3 ~scale:0 ~deadline:20. ~bench:"hist" ~seed:5 ()
+  in
+  Alcotest.(check bool) "hist fault sweep ok" true (Oracle.fault_ok report);
+  Alcotest.(check int) "one run per schedule"
+    (List.length Oracle.fault_schedules)
+    (List.length report.Oracle.fr_outcomes);
+  (* The contract behind "ok", spelled out: completed runs carry correct
+     digests, failed runs raised, and the pool survived every run. *)
+  List.iter
+    (fun (o : Oracle.fault_outcome) ->
+      if o.Oracle.f_completed then begin
+        Alcotest.(check bool) "digest intact" true o.Oracle.f_digest_equal;
+        Alcotest.(check bool) "verified" true o.Oracle.f_verified
+      end
+      else
+        Alcotest.(check bool) "raised cleanly" true (o.Oracle.f_raised <> None);
+      Alcotest.(check bool) "pool reusable" true o.Oracle.f_pool_reusable)
+    report.Oracle.fr_outcomes;
+  (* The seeded schedules must actually interfere: across three schedules at
+     least one injection has to fire. *)
+  Alcotest.(check bool) "injections fired" true
+    (List.exists (fun o -> o.Oracle.f_injected > 0) report.Oracle.fr_outcomes)
+
+let test_fault_sweep_deterministic () =
+  let digest r =
+    List.map
+      (fun (o : Oracle.fault_outcome) ->
+        (o.Oracle.f_bench, o.Oracle.f_schedule, o.Oracle.f_fault_seed))
+      r.Oracle.fr_outcomes
+  in
+  let a = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"dedup" ~seed:3 () in
+  let b = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"dedup" ~seed:3 () in
+  Alcotest.(check bool) "equal seeds, equal schedules" true (digest a = digest b)
+
+let test_fault_sweep_json_fields () =
+  let report = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"sort" ~seed:1 () in
+  let module J = Rpb_benchmarks.Bench_json in
+  let reparsed = J.of_string (J.to_string (Oracle.fault_to_json report)) in
+  Alcotest.(check int) "schema version survives" J.schema_version
+    (J.get_int (J.member "schema_version" reparsed));
+  Alcotest.(check string) "kind marker" "fault"
+    (J.get_str (J.member "kind" reparsed));
+  Alcotest.(check bool) "ok flag" (Oracle.fault_ok report)
+    (J.get_bool (J.member "ok" reparsed));
+  Alcotest.(check int) "all runs serialized"
+    (List.length report.Oracle.fr_outcomes)
+    (List.length (J.get_list (J.member "runs" reparsed)))
+
 let () =
   Alcotest.run "rpb_check"
     [
@@ -466,5 +518,13 @@ let () =
             test_oracle_report_json_roundtrip_fields;
           Alcotest.test_case "order sensitivity exposed" `Quick
             test_oracle_detects_order_sensitivity;
+        ] );
+      ( "fault_sweep",
+        [
+          Alcotest.test_case "single bench contract" `Quick
+            test_fault_sweep_single_bench;
+          Alcotest.test_case "deterministic schedules" `Quick
+            test_fault_sweep_deterministic;
+          Alcotest.test_case "json fields" `Quick test_fault_sweep_json_fields;
         ] );
     ]

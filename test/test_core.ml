@@ -226,6 +226,44 @@ let test_scatter_unchecked_accepts_duplicates_silently () =
         (out.(1) = 20 || out.(1) = 30);
       Alcotest.(check int) "slot 2 untouched" 0 out.(2))
 
+let test_scatter_checked_mark_table_abort_safe () =
+  (* Regression: a validation pass aborted mid-flight (duplicate found, or a
+     fault-injected task exception) must leave the shared cached mark table
+     valid — later validations on the same table get no false positives and
+     no missed duplicates. *)
+  in_pool (fun pool ->
+      let n = 4_096 in
+      let rng = Rpb_prim.Rng.create 31 in
+      let valid () = Rpb_prim.Rng.permutation rng n in
+      let src = Array.init n Fun.id in
+      let out = Array.make n 0 in
+      for round = 1 to 5 do
+        (* Abort by duplicate: hide one at the far end. *)
+        let offsets = valid () in
+        offsets.(n - 1) <- offsets.(0);
+        (match Scatter.checked pool ~out ~offsets ~src with
+         | () -> Alcotest.failf "round %d: duplicate missed" round
+         | exception Scatter.Duplicate_offset _ -> ());
+        (* The next valid validation on the same cached table must pass. *)
+        Scatter.checked pool ~out ~offsets:(valid ()) ~src
+      done;
+      (* Abort mid-pass by injected task exceptions, then validate clean. *)
+      Pool.Fault.enable { Pool.Fault.off with seed = 5; task_exn = 0.05 };
+      Fun.protect ~finally:Pool.Fault.disable (fun () ->
+          for _ = 1 to 5 do
+            match Scatter.checked pool ~out ~offsets:(valid ()) ~src with
+            | () -> ()
+            | exception Pool.Fault.Injected _ -> ()
+          done);
+      Pool.Fault.disable ();
+      Scatter.checked pool ~out ~offsets:(valid ()) ~src;
+      (* And a planted duplicate is still caught after all that churn. *)
+      let offsets = valid () in
+      offsets.(0) <- offsets.(n - 1);
+      match Scatter.checked pool ~out ~offsets ~src with
+      | () -> Alcotest.fail "duplicate missed after aborted passes"
+      | exception Scatter.Duplicate_offset _ -> ())
+
 let test_scatter_length_mismatch () =
   in_pool (fun pool ->
       let out = Array.make 3 0 in
@@ -366,6 +404,8 @@ let () =
             test_scatter_checked_detects_out_of_range;
           Alcotest.test_case "unchecked silent corruption" `Quick
             test_scatter_unchecked_accepts_duplicates_silently;
+          Alcotest.test_case "mark table abort-safe" `Quick
+            test_scatter_checked_mark_table_abort_safe;
           Alcotest.test_case "length mismatch" `Quick test_scatter_length_mismatch;
           Alcotest.test_case "generic atomic rejected" `Quick
             test_scatter_generic_atomic_rejected;

@@ -364,6 +364,238 @@ let test_trace_span_records_events () =
          in
          find 0))
 
+(* ---------- failure semantics ---------- *)
+
+exception Boom of int
+exception Combine_boom
+
+(* A successful run on the same pool after a failure: the reusability check
+   every failure test ends with. *)
+let assert_reusable pool =
+  let x =
+    Pool.run pool (fun () ->
+        Pool.parallel_for_reduce ~grain:16 ~start:0 ~finish:10_000 ~body:Fun.id
+          ~combine:( + ) ~init:0 pool)
+  in
+  Alcotest.(check int) "pool reusable after failure" (10_000 * 9_999 / 2) x
+
+let test_fail_join_branch () =
+  with_pool 4 (fun pool ->
+      (* Exception in the forked branch (g, executed as a task). *)
+      Alcotest.check_raises "forked branch" (Boom 2) (fun () ->
+          ignore
+            (Pool.run pool (fun () ->
+                 Pool.join pool (fun () -> 1) (fun () -> raise (Boom 2)))));
+      (* Exception in the inline branch (f). *)
+      Alcotest.check_raises "inline branch" (Boom 1) (fun () ->
+          ignore
+            (Pool.run pool (fun () ->
+                 Pool.join pool (fun () -> raise (Boom 1)) (fun () -> 2))));
+      assert_reusable pool)
+
+let test_fail_parallel_for_leaf () =
+  with_pool 4 (fun pool ->
+      let n = 1_000 in
+      let executed = Atomic.make 0 in
+      (match
+         Pool.run pool (fun () ->
+             Pool.parallel_for ~grain:1 ~start:0 ~finish:n
+               ~body:(fun i ->
+                 if i = 0 then raise (Boom 0);
+                 Atomic.incr executed;
+                 Unix.sleepf 1e-4)
+               pool)
+       with
+      | () -> Alcotest.fail "expected Boom"
+      | exception Boom 0 -> ()
+      | exception e -> raise e);
+      (* Cancellation abandons sibling leaves: the failing leaf runs early
+         (worker 0 descends left-first), so nowhere near all of the other
+         999 bodies — each 100 us long — may have executed. *)
+      Alcotest.(check bool) "sibling work abandoned" true
+        (Atomic.get executed < n - 1);
+      (* Drain guarantee: nothing of the failed scope still runs after [run]
+         has re-raised. *)
+      let after = Atomic.get executed in
+      Unix.sleepf 0.05;
+      Alcotest.(check int) "no task runs after run returns" after
+        (Atomic.get executed);
+      assert_reusable pool)
+
+let test_fail_reduce_combine () =
+  with_pool 4 (fun pool ->
+      Alcotest.check_raises "combine raises" Combine_boom (fun () ->
+          ignore
+            (Pool.run pool (fun () ->
+                 Pool.parallel_for_reduce ~grain:10 ~start:0 ~finish:1_000
+                   ~body:Fun.id
+                   ~combine:(fun _ _ -> raise Combine_boom)
+                   ~init:0 pool)));
+      assert_reusable pool)
+
+let test_fail_many_leaves_surfaces_one () =
+  (* Every leaf raises; exactly one of them must surface (the first recorded
+     one), not [Cancelled] or a secondary artifact. *)
+  with_pool 4 (fun pool ->
+      (match
+         Pool.run pool (fun () ->
+             Pool.parallel_for ~grain:1 ~start:0 ~finish:256
+               ~body:(fun i -> raise (Boom i))
+               pool)
+       with
+      | () -> Alcotest.fail "expected Boom"
+      | exception Boom _ -> ()
+      | exception e ->
+        Alcotest.failf "wrong exception surfaced: %s" (Printexc.to_string e));
+      assert_reusable pool)
+
+let test_fail_async_awaited_off_pool () =
+  with_pool 2 (fun pool ->
+      (* An unstructured failure stays private to its promise: the run
+         completes, and the exception surfaces at [await] — here from off
+         the pool, after [run] has drained and returned. *)
+      let p = Pool.run pool (fun () -> Pool.async pool (fun () -> raise (Boom 7))) in
+      Alcotest.(check bool) "promise resolved by run's drain" true
+        (Pool.try_result p <> None);
+      Alcotest.check_raises "await off-pool re-raises" (Boom 7) (fun () ->
+          ignore (Pool.await pool p));
+      assert_reusable pool)
+
+let test_fail_caught_in_run_body_continues () =
+  (* Catching a structured failure at the run-body level leaves the run
+     healthy: later parallel calls in the same run work. *)
+  with_pool 4 (fun pool ->
+      let x =
+        Pool.run pool (fun () ->
+            (try
+               Pool.parallel_for ~grain:1 ~start:0 ~finish:64
+                 ~body:(fun i -> if i = 13 then raise (Boom 13))
+                 pool
+             with Boom 13 -> ());
+            Pool.parallel_for_reduce ~grain:4 ~start:0 ~finish:1_000
+              ~body:Fun.id ~combine:( + ) ~init:0 pool)
+      in
+      Alcotest.(check int) "run continues after caught failure"
+        (1_000 * 999 / 2) x)
+
+let test_shutdown_fails_pending_promises () =
+  let pool = Pool.create ~num_workers:2 () in
+  (* Queue unstructured work from off the pool, then shut down underneath
+     it: every promise must be resolved — executed or failed with
+     [Shutdown] — so no awaiter can poll forever. *)
+  let ps = List.init 64 (fun i -> Pool.async pool (fun () -> Unix.sleepf 1e-3; i)) in
+  Pool.shutdown pool;
+  List.iter
+    (fun p ->
+      match Pool.try_result p with
+      | None -> Alcotest.fail "promise stranded by shutdown"
+      | Some (Ok _) | Some (Error Pool.Shutdown) -> ()
+      | Some (Error e) -> raise e)
+    ps
+
+let test_run_deadline_stalls () =
+  with_pool 4 (fun pool ->
+      let t0 = Unix.gettimeofday () in
+      (match
+         Pool.run ~deadline:0.2 pool (fun () ->
+             (* ~2.5 s of sleepy leaves across 4 workers: cannot finish
+                within the deadline, but every leaf is short, so the
+                watchdog's cancel is observed promptly. *)
+             Pool.parallel_for ~grain:1 ~start:0 ~finish:50
+               ~body:(fun _ -> Unix.sleepf 0.05)
+               pool)
+       with
+      | () -> Alcotest.fail "expected Stalled"
+      | exception Pool.Stalled msg ->
+        Alcotest.(check bool) "dump mentions the deadline" true
+          (String.length msg > 0)
+      | exception e -> raise e);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool) "bounded well below the full runtime" true
+        (elapsed < 2.0);
+      assert_reusable pool)
+
+let test_run_deadline_completes () =
+  with_pool 2 (fun pool ->
+      let x =
+        Pool.run ~deadline:30. pool (fun () ->
+            Pool.parallel_for_reduce ~grain:8 ~start:0 ~finish:1_000
+              ~body:Fun.id ~combine:( + ) ~init:0 pool)
+      in
+      Alcotest.(check int) "deadline run completes" (1_000 * 999 / 2) x)
+
+(* ---------- fault injection ---------- *)
+
+let test_fault_off_by_default () =
+  Alcotest.(check bool) "disarmed" false (Pool.Fault.armed ())
+
+let test_fault_task_exn_injected () =
+  with_pool 4 (fun pool ->
+      Pool.Fault.enable { Pool.Fault.off with seed = 7; task_exn = 1.0 };
+      Fun.protect ~finally:Pool.Fault.disable @@ fun () ->
+      (match
+         Pool.run pool (fun () ->
+             Pool.parallel_for ~grain:1 ~start:0 ~finish:100
+               ~body:(fun _ -> ())
+               pool)
+       with
+      | () ->
+        (* Legal only if no task was ever forked (all inline) — but with
+           p = 1.0 every forked task raises, so demand injections below. *)
+        ()
+      | exception Pool.Fault.Injected _ -> ()
+      | exception e -> raise e);
+      let c = Pool.Fault.counts () in
+      Alcotest.(check bool) "task injections fired" true (c.Pool.Fault.task_exns > 0);
+      Pool.Fault.disable ();
+      assert_reusable pool)
+
+let test_fault_delays_keep_results () =
+  with_pool 4 (fun pool ->
+      Pool.Fault.enable
+        { Pool.Fault.off with
+          seed = 11;
+          steal_delay = 0.5;
+          worker_stall = 0.2;
+          delay_us = 100 };
+      Fun.protect ~finally:Pool.Fault.disable @@ fun () ->
+      let x =
+        Pool.run pool (fun () ->
+            Pool.parallel_for_reduce ~grain:4 ~start:0 ~finish:5_000
+              ~body:Fun.id ~combine:( + ) ~init:0 pool)
+      in
+      Alcotest.(check int) "delays never change results" (5_000 * 4_999 / 2) x;
+      let c = Pool.Fault.counts () in
+      Alcotest.(check bool) "delay/stall injections fired" true
+        (c.Pool.Fault.steal_delays + c.Pool.Fault.worker_stalls > 0))
+
+let test_fault_spawn_degrades () =
+  Pool.Fault.enable { Pool.Fault.off with seed = 13; spawn_fail = 1.0 };
+  let pool =
+    Fun.protect ~finally:Pool.Fault.disable (fun () ->
+        Pool.create ~num_workers:4 ())
+  in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let s = Pool.Stats.capture pool in
+  Alcotest.(check int) "requested recorded" 4 s.Pool.Stats.requested_workers;
+  Alcotest.(check bool) "degraded below request" true
+    (s.Pool.Stats.num_workers < 4);
+  Alcotest.(check bool) "degradation shown in summary" true
+    (let sum = Pool.Stats.summary s in
+     let re = "requested" in
+     let rec find i =
+       i + String.length re <= String.length sum
+       && (String.sub sum i (String.length re) = re || find (i + 1))
+     in
+     find 0);
+  (* The degraded pool still computes correctly. *)
+  let x =
+    Pool.run pool (fun () ->
+        Pool.parallel_for_reduce ~grain:16 ~start:0 ~finish:10_000 ~body:Fun.id
+          ~combine:( + ) ~init:0 pool)
+  in
+  Alcotest.(check int) "degraded pool correct" (10_000 * 9_999 / 2) x
+
 let prop_parallel_reduce_matches_sequential =
   QCheck.Test.make ~name:"parallel_for_reduce = sequential fold" ~count:20
     QCheck.(list small_int)
@@ -419,6 +651,34 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_rejects;
           Alcotest.test_case "many small tasks" `Quick test_pool_many_small_tasks;
           QCheck_alcotest.to_alcotest prop_parallel_reduce_matches_sequential;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "join branch raises" `Quick test_fail_join_branch;
+          Alcotest.test_case "parallel_for leaf raises" `Quick
+            test_fail_parallel_for_leaf;
+          Alcotest.test_case "reduce combine raises" `Quick
+            test_fail_reduce_combine;
+          Alcotest.test_case "all leaves raise, one surfaces" `Quick
+            test_fail_many_leaves_surfaces_one;
+          Alcotest.test_case "async awaited off-pool" `Quick
+            test_fail_async_awaited_off_pool;
+          Alcotest.test_case "caught in run body" `Quick
+            test_fail_caught_in_run_body_continues;
+          Alcotest.test_case "shutdown fails pending" `Quick
+            test_shutdown_fails_pending_promises;
+          Alcotest.test_case "deadline stalls" `Quick test_run_deadline_stalls;
+          Alcotest.test_case "deadline completes" `Quick
+            test_run_deadline_completes;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "off by default" `Quick test_fault_off_by_default;
+          Alcotest.test_case "task exceptions" `Quick test_fault_task_exn_injected;
+          Alcotest.test_case "delays keep results" `Quick
+            test_fault_delays_keep_results;
+          Alcotest.test_case "spawn failures degrade" `Quick
+            test_fault_spawn_degrades;
         ] );
       ( "telemetry",
         [
