@@ -1,4 +1,4 @@
-.PHONY: all build test bench examples doc clean check-race check-fault
+.PHONY: all build test bench examples doc clean check-race check-fault profile-smoke
 
 all: build
 
@@ -23,6 +23,15 @@ bench-quick:
 # counters, written as a machine-readable BENCH_*.json artifact.
 bench-smoke:
 	dune exec bench/main.exe -- table1 --scale 0 --repeats 1 --json BENCH_smoke.json
+
+# CI profile-smoke job: the work/span profiler on one benchmark per fear
+# tier — sort (F, divide-and-conquer), sa (C, checked scatter), hist (S,
+# arbitrary writes) — each written as a machine-readable PROFILE_*.json
+# (Bench_json schema v2) artifact.
+profile-smoke:
+	dune exec bin/rpb.exe -- profile --bench sort --threads 4 --scale 0 --json PROFILE_sort.json
+	dune exec bin/rpb.exe -- profile --bench sa   --threads 4 --scale 0 --json PROFILE_sa.json
+	dune exec bin/rpb.exe -- profile --bench hist --threads 4 --scale 0 --json PROFILE_hist.json
 
 # CI check-race job: the differential oracle (every benchmark under the
 # deterministic sequential executor, its shuffled variant, and the

@@ -548,6 +548,39 @@ let bechamel cfg =
               rows))
 
 (* ------------------------------------------------------------------ *)
+(* Work/span profile: one flight-recorder run per benchmark (also reachable
+   as `bench/main.exe -- profile` or via the --profile flag).               *)
+
+let profile cfg =
+  header
+    (Printf.sprintf
+       "Work/span profile (flight recorder, unsafe mode, %d threads)"
+       cfg.threads);
+  Printf.printf "%-8s %-12s %10s %10s %8s %8s %7s %7s %8s\n" "bench" "input"
+    "work" "span" "par" "burden" "tasks" "steals" "dropped";
+  List.iter
+    (fun e ->
+      let name = e.Common.name in
+      let r =
+        Rpb_obs.Profile.profile ~bench:name ~threads:cfg.threads
+          ~scale:cfg.scale ~seed:42 ()
+      in
+      let m = r.Rpb_obs.Profile.metrics in
+      Printf.printf "%-8s %-12s %9.3fms %9.3fms %8.2f %8.2f %7d %7d %8d%s\n"
+        name r.Rpb_obs.Profile.input
+        (float_of_int m.Rpb_obs.Sp_dag.work_ns /. 1e6)
+        (float_of_int m.Rpb_obs.Sp_dag.span_ns /. 1e6)
+        m.Rpb_obs.Sp_dag.parallelism m.Rpb_obs.Sp_dag.burdened_parallelism
+        m.Rpb_obs.Sp_dag.tasks m.Rpb_obs.Sp_dag.steals
+        m.Rpb_obs.Sp_dag.dropped
+        (if r.Rpb_obs.Profile.verified then "" else "  VERIFY-FAILED");
+      flush stdout)
+    Registry.all;
+  print_newline ();
+  print_endline
+    "par = work/span (DAG parallelism); burden = work/burdened-span (after";
+  print_endline
+    "measured steal-migration delays); see `rpb profile` for the full report."
 
 let artifacts =
   [
@@ -563,6 +596,10 @@ let artifacts =
     ("extras", extras);
     ("bechamel", bechamel);
   ]
+
+(* Not part of the default everything-run (it re-times every benchmark);
+   selected explicitly by name or with the --profile flag. *)
+let extra_artifacts = [ ("profile", profile) ]
 
 let parse_args () =
   let scale = ref 2 and threads = ref default_threads and repeats = ref 3 in
@@ -581,6 +618,9 @@ let parse_args () =
       go rest
     | "--json" :: v :: rest ->
       json := Some v;
+      go rest
+    | "--profile" :: rest ->
+      which := "profile" :: !which;
       go rest
     | name :: rest ->
       which := name :: !which;
@@ -621,11 +661,12 @@ let () =
     (Domain.recommended_domain_count ());
   List.iter
     (fun name ->
-      match List.assoc_opt name artifacts with
+      match List.assoc_opt name (artifacts @ extra_artifacts) with
       | Some f -> f cfg
       | None ->
         Printf.eprintf "unknown artifact %s; known: %s\n" name
-          (String.concat " " (List.map fst artifacts));
+          (String.concat " "
+             (List.map fst (artifacts @ extra_artifacts)));
         exit 1)
     which;
   write_json cfg which

@@ -5,10 +5,19 @@
    rpb run sa --input wiki --scale 3 --threads 4 --mode checked --repeats 3
    rpb run all --scale 1
    rpb stats --threads 4 --json stats.json --trace trace.json
-   rpb check --seed 42 --json CHECK_report.json *)
+   rpb check --seed 42 --json CHECK_report.json
+   rpb profile --bench sort --threads 8 --json PROFILE_sort.json *)
 
 open Cmdliner
 open Rpb_benchmarks
+
+let mode_conv =
+  Arg.conv
+    ( (fun s ->
+        match Mode.of_string s with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown mode " ^ s))),
+      fun fmt m -> Format.pp_print_string fmt (Mode.name m) )
 
 let run_one ~name ~input ~scale ~threads ~mode ~repeats ~seq =
   match Registry.find name with
@@ -88,14 +97,6 @@ let run_cmd =
   let repeats = Arg.(value & opt int 3 & info [ "repeats"; "r" ] ~docv:"R") in
   let seq = Arg.(value & flag & info [ "seq" ] ~doc:"run the sequential baseline") in
   let mode =
-    let mode_conv =
-      Arg.conv
-        ( (fun s ->
-            match Mode.of_string s with
-            | Some m -> Ok m
-            | None -> Error (`Msg ("unknown mode " ^ s))),
-          fun fmt m -> Format.pp_print_string fmt (Mode.name m) )
-    in
     Arg.(value & opt mode_conv Mode.Unsafe
          & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"unsafe | checked | sync")
   in
@@ -307,10 +308,62 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(const run $ seed $ bench $ threads $ scale $ deadline $ json)
 
+let profile_run ~bench ~input ~mode ~threads ~scale ~seed ~json =
+  match
+    Rpb_obs.Profile.profile ?input ~mode ~bench ~threads ~scale ~seed ()
+  with
+  | r ->
+    print_string (Rpb_obs.Profile.summary r);
+    (match json with
+     | None -> ()
+     | Some path ->
+       Rpb_obs.Profile.write_json ~path r;
+       Printf.printf "\nwrote profile document to %s\n" path);
+    if r.Rpb_obs.Profile.verified then 0 else 2
+  | exception Invalid_argument msg ->
+    Printf.eprintf "%s (try `rpb list`)\n" msg;
+    1
+
+let profile_cmd =
+  let doc =
+    "Work/span profiler: run one benchmark under the scheduler flight \
+     recorder and report work (T1), span (Tinf), parallelism, burdened \
+     parallelism, leaf-task granularity, per-phase and per-worker \
+     breakdowns, and the predicted 1..P speedup curve."
+  in
+  let bench =
+    Arg.(value & opt string "sort"
+         & info [ "bench"; "b" ] ~docv:"BENCH" ~doc:"benchmark to profile")
+  in
+  let input =
+    Arg.(value & opt (some string) None & info [ "input"; "i" ] ~docv:"INPUT")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Unsafe
+         & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"unsafe | checked | sync")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"P") in
+  let scale = Arg.(value & opt int 0 & info [ "scale"; "s" ] ~docv:"S") in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"recorded in the profile metadata")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"write the schema_version=2 profile document")
+  in
+  let run bench input mode threads scale seed json =
+    exit (profile_run ~bench ~input ~mode ~threads ~scale ~seed ~json)
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ bench $ input $ mode $ threads $ scale $ seed $ json)
+
 let () =
   let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
   let info = Cmd.info "rpb" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; patterns_cmd; run_cmd; stats_cmd; check_cmd; faults_cmd ]))
+          [ list_cmd; patterns_cmd; run_cmd; stats_cmd; check_cmd; faults_cmd;
+            profile_cmd ]))

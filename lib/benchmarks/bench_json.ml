@@ -284,7 +284,11 @@ let get_list = function
 
 (* ---------- the BENCH_*.json schema ---------- *)
 
-let schema_version = 1
+(* v2 added the "profile" document kind (rpb profile, lib/obs) on top of the
+   v1 benchmark-results shape; the results schema itself is unchanged, so
+   readers keep accepting v1 documents. *)
+let schema_version = 2
+let accepted_schema_versions = [ 1; 2 ]
 
 type worker_stats = {
   worker_id : int;
@@ -382,10 +386,10 @@ let doc ~meta records =
 
 let records_of_doc j =
   let v = get_int (member "schema_version" j) in
-  if v <> schema_version then
+  if not (List.mem v accepted_schema_versions) then
     raise
       (Parse_error
-         (Printf.sprintf "unsupported schema_version %d (want %d)" v
+         (Printf.sprintf "unsupported schema_version %d (want <= %d)" v
             schema_version));
   List.map record_of_json (get_list (member "results" j))
 

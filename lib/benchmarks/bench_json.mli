@@ -41,6 +41,12 @@ val get_list : json -> json list
 (** {1 The benchmark-result schema} *)
 
 val schema_version : int
+(** Version written into every emitted document.  v2 added the "profile"
+    document kind ([rpb profile], [Rpb_obs]); the benchmark-results shape is
+    unchanged from v1. *)
+
+val accepted_schema_versions : int list
+(** Versions {!records_of_doc} still parses (currently [[1; 2]]). *)
 
 type worker_stats = {
   worker_id : int;
@@ -65,6 +71,11 @@ type record = {
 }
 
 val workers_of_pool_stats : Rpb_pool.Pool.Stats.t -> worker_stats list
+
+val worker_to_json : worker_stats -> json
+val worker_of_json : json -> worker_stats
+(** Exposed for the profile document ([Rpb_obs.Profile]), which embeds the
+    same per-worker counter shape. *)
 
 val record_to_json : record -> json
 val record_of_json : json -> record

@@ -14,24 +14,26 @@ let histogram pool ~keys ~buckets =
   let nb = num_blocks pool n in
   let bsize = Rpb_prim.Util.ceil_div n (max nb 1) in
   let counts = Array.make (nb * buckets) 0 in
-  Pool.parallel_for ~grain:1 ~start:0 ~finish:nb
-    ~body:(fun b ->
-      let lo = b * bsize and hi = min n ((b + 1) * bsize) in
-      let base = b * buckets in
-      for i = lo to hi - 1 do
-        let k = Array.unsafe_get keys i in
-        counts.(base + k) <- counts.(base + k) + 1
-      done)
-    pool;
+  (Pool.Trace.span pool "hist.count" @@ fun () ->
+   Pool.parallel_for ~grain:1 ~start:0 ~finish:nb
+     ~body:(fun b ->
+       let lo = b * bsize and hi = min n ((b + 1) * bsize) in
+       let base = b * buckets in
+       for i = lo to hi - 1 do
+         let k = Array.unsafe_get keys i in
+         counts.(base + k) <- counts.(base + k) + 1
+       done)
+     pool);
   let out = Array.make buckets 0 in
-  Pool.parallel_for ~start:0 ~finish:buckets
-    ~body:(fun k ->
-      let acc = ref 0 in
-      for b = 0 to nb - 1 do
-        acc := !acc + counts.((b * buckets) + k)
-      done;
-      out.(k) <- !acc)
-    pool;
+  (Pool.Trace.span pool "hist.merge" @@ fun () ->
+   Pool.parallel_for ~start:0 ~finish:buckets
+     ~body:(fun k ->
+       let acc = ref 0 in
+       for b = 0 to nb - 1 do
+         acc := !acc + counts.((b * buckets) + k)
+       done;
+       out.(k) <- !acc)
+     pool);
   out
 
 let histogram_atomic pool ~keys ~buckets =
@@ -116,19 +118,21 @@ let histogram_stats ~mode pool ~keys ~values ~buckets =
     let nb = num_blocks pool n in
     let bsize = Rpb_prim.Util.ceil_div n (max nb 1) in
     let partial = Array.init nb (fun _ -> Array.init buckets (fun _ -> stats_empty ())) in
-    Pool.parallel_for ~grain:1 ~start:0 ~finish:nb
-      ~body:(fun b ->
-        let lo = b * bsize and hi = min n ((b + 1) * bsize) in
-        let local = partial.(b) in
-        for i = lo to hi - 1 do
-          stats_add local.(Array.unsafe_get keys i) (Array.unsafe_get values i)
-        done)
-      pool;
+    (Pool.Trace.span pool "hist.stats_count" @@ fun () ->
+     Pool.parallel_for ~grain:1 ~start:0 ~finish:nb
+       ~body:(fun b ->
+         let lo = b * bsize and hi = min n ((b + 1) * bsize) in
+         let local = partial.(b) in
+         for i = lo to hi - 1 do
+           stats_add local.(Array.unsafe_get keys i) (Array.unsafe_get values i)
+         done)
+       pool);
     let out = Array.init buckets (fun _ -> stats_empty ()) in
-    Pool.parallel_for ~start:0 ~finish:buckets
-      ~body:(fun k ->
-        for b = 0 to nb - 1 do
-          stats_merge out.(k) partial.(b).(k)
-        done)
-      pool;
+    (Pool.Trace.span pool "hist.stats_merge" @@ fun () ->
+     Pool.parallel_for ~start:0 ~finish:buckets
+       ~body:(fun k ->
+         for b = 0 to nb - 1 do
+           stats_merge out.(k) partial.(b).(k)
+         done)
+       pool);
     out

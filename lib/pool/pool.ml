@@ -219,6 +219,302 @@ module Stats = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Instrumentation switch word.
+
+   One process-global atomic int holds a bit per optional instrumentation
+   layer — bit 0: Chrome-trace spans ([Trace]), bit 1: the flight recorder
+   ([Recorder]).  Shared hot sites ([Trace.span]) test the whole word once,
+   so "both off" still costs exactly one atomic load. *)
+
+let instr_flags = Atomic.make 0
+let tracing_bit = 1
+let recording_bit = 2
+
+let rec set_instr_bit bit on =
+  let cur = Atomic.get instr_flags in
+  let next = if on then cur lor bit else cur land lnot bit in
+  if not (Atomic.compare_and_set instr_flags cur next) then set_instr_bit bit on
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler flight recorder.
+
+   Off by default; every instrumented site is gated on one atomic load (the
+   [instr_flags] word above), so the scheduling hot paths keep their
+   uninstrumented cost.  When armed, each domain appends task-lifecycle
+   events into its own lock-free ring buffer — single writer, drop-oldest on
+   overflow, with the drop count recoverable from the monotonically growing
+   total — and [stop] collects the rings into one timestamp-sorted event
+   list for the post-run analyzer in [lib/obs].
+
+   The events carry enough series-parallel provenance to reconstruct the
+   fork-join DAG offline: every [join] (and through it every [parallel_for]
+   split) allocates a fresh construct id and records which (construct,
+   branch) strand forked it, and every strand's computation is covered by
+   [Work] segments — opened/closed around fork points, task execution, and
+   joins, so time spent waiting or helping in [await] is never charged as
+   work.  Timestamps come from the monotonic clock in [Rpb_prim.Timing]. *)
+
+module Recorder = struct
+  type event =
+    | Fork of {
+        id : int;  (** fresh construct id of this [join] *)
+        parent : int;  (** construct id of the forking strand *)
+        parent_branch : int;  (** branch of [parent] the forking strand is on *)
+        w : int;
+        ts_ns : int;
+      }
+    | Join of { id : int; w : int; ts_ns : int }
+    | Work of {
+        construct : int;
+        branch : int;  (** 0 = inline branch, 1 = spawned branch *)
+        w : int;
+        begin_ns : int;
+        end_ns : int;
+      }
+    | Exec of { construct : int; w : int; begin_ns : int }
+    | Steal of { thief : int; victim : int; ts_ns : int }
+    | Idle of { w : int; begin_ns : int; end_ns : int }
+    | Phase of { name : string; w : int; begin_ns : int; end_ns : int }
+    | Gc_sample of {
+        w : int;
+        ts_ns : int;
+        minor_collections : int;
+        major_collections : int;
+        promoted_words : float;
+        minor_words : float;
+      }
+
+  let ts_of = function
+    | Fork { ts_ns; _ } | Join { ts_ns; _ } | Steal { ts_ns; _ }
+    | Gc_sample { ts_ns; _ } ->
+      ts_ns
+    | Work { begin_ns; _ } | Exec { begin_ns; _ } | Idle { begin_ns; _ }
+    | Phase { begin_ns; _ } ->
+      begin_ns
+
+  type recording = { events : event list; dropped : int }
+
+  let enabled () = Atomic.get instr_flags land recording_bit <> 0
+  let now_ns = Rpb_prim.Timing.monotonic_ns
+
+  (* Per-domain ring buffer: single writer (the owning domain), read only
+     after [stop] has disarmed the switch.  [total] grows without bound; the
+     ring keeps the newest [capacity] events (drop-oldest). *)
+  type ring = { buf : event array; mutable total : int }
+
+  let dummy_event = Join { id = -1; w = -1; ts_ns = 0 }
+  let default_capacity = 1 lsl 15
+  let capacity = Atomic.make default_capacity
+  let registry_mutex = Mutex.create ()
+  let rings : ring list ref = ref []
+
+  (* Bumped on every [start]/[stop] so stale DLS rings and strand contexts
+     from a previous session are abandoned rather than mixed in. *)
+  let generation = Atomic.make 0
+
+  let ring_key : (int * ring) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let my_ring () =
+    let slot = Domain.DLS.get ring_key in
+    let gen = Atomic.get generation in
+    match !slot with
+    | Some (g, r) when g = gen -> r
+    | _ ->
+      let r = { buf = Array.make (Atomic.get capacity) dummy_event; total = 0 } in
+      Mutex.lock registry_mutex;
+      rings := r :: !rings;
+      Mutex.unlock registry_mutex;
+      slot := Some (gen, r);
+      r
+
+  let emit e =
+    let r = my_ring () in
+    let cap = Array.length r.buf in
+    r.buf.(r.total land (cap - 1)) <- e;
+    r.total <- r.total + 1
+
+  (* Per-domain strand context: which (construct, branch) the domain is
+     computing for, and since when.  [seg_ns = 0] means no open segment
+     (the domain is scheduling, waiting, or helping). *)
+  type ctx = {
+    mutable construct : int;
+    mutable branch : int;
+    mutable seg_ns : int;
+    mutable since_gc : int;
+  }
+
+  let ctx_key : (int * ctx) option ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref None)
+
+  let my_ctx () =
+    let slot = Domain.DLS.get ctx_key in
+    let gen = Atomic.get generation in
+    match !slot with
+    | Some (g, c) when g = gen -> c
+    | _ ->
+      let c = { construct = 0; branch = 0; seg_ns = 0; since_gc = 0 } in
+      slot := Some (gen, c);
+      c
+
+  let next_construct = Atomic.make 1
+
+  let gc_sample ~w =
+    let s = Gc.quick_stat () in
+    emit
+      (Gc_sample
+         {
+           w;
+           ts_ns = now_ns ();
+           minor_collections = s.Gc.minor_collections;
+           major_collections = s.Gc.major_collections;
+           promoted_words = s.Gc.promoted_words;
+           minor_words = s.Gc.minor_words;
+         })
+
+  let seg_close ~w c =
+    if c.seg_ns <> 0 then begin
+      emit
+        (Work
+           {
+             construct = c.construct;
+             branch = c.branch;
+             w;
+             begin_ns = c.seg_ns;
+             end_ns = now_ns ();
+           });
+      c.seg_ns <- 0
+    end
+
+  let seg_open c ~construct ~branch =
+    c.construct <- construct;
+    c.branch <- branch;
+    c.seg_ns <- now_ns ()
+
+  (* Instrumentation points, called by the pool internals below only when
+     [enabled ()].  [fork] closes the forking strand's segment, emits the
+     provenance event, and returns what [join_done] needs to restore the
+     strand afterwards. *)
+
+  let fork ~w =
+    let c = my_ctx () in
+    seg_close ~w c;
+    let id = Atomic.fetch_and_add next_construct 1 in
+    emit
+      (Fork
+         { id; parent = c.construct; parent_branch = c.branch; w; ts_ns = now_ns () });
+    (id, c.construct, c.branch)
+
+  let branch_open ~w:_ (id, _, _) = seg_open (my_ctx ()) ~construct:id ~branch:0
+
+  let seg_close_cur ~w = seg_close ~w (my_ctx ())
+
+  let join_done ~w (id, pc, pb) =
+    let c = my_ctx () in
+    seg_close ~w c;
+    emit (Join { id; w; ts_ns = now_ns () });
+    seg_open c ~construct:pc ~branch:pb
+
+  (* GC sampled every [gc_every] task starts per domain — often enough to
+     attribute collector pressure per worker, rare enough that the sampling
+     (Gc.quick_stat allocates its stat record) does not perturb what it
+     measures. *)
+  let gc_every = 64
+
+  (* Wrapper around a spawned [join] branch: saves whatever strand the
+     executing domain was on (a worker helping under [await] has none), tags
+     the task's computation with its (construct, 1) provenance, and records
+     the queue delay via [Exec] (matched with [Fork] by construct id). *)
+  let run_branch pool construct g () =
+    if not (enabled ()) then g ()
+    else begin
+      let w = match my_index pool with Some i -> i | None -> -1 in
+      let c = my_ctx () in
+      let s_construct = c.construct and s_branch = c.branch in
+      let interrupted = c.seg_ns <> 0 in
+      if interrupted then seg_close ~w c;
+      emit (Exec { construct; w; begin_ns = now_ns () });
+      c.since_gc <- c.since_gc + 1;
+      if c.since_gc >= gc_every then begin
+        c.since_gc <- 0;
+        gc_sample ~w
+      end;
+      seg_open c ~construct ~branch:1;
+      let restore () =
+        seg_close ~w c;
+        c.construct <- s_construct;
+        c.branch <- s_branch;
+        if interrupted then c.seg_ns <- now_ns ()
+      in
+      match g () with
+      | x ->
+        restore ();
+        x
+      | exception e ->
+        restore ();
+        raise e
+    end
+
+  let idle_event ~w ~begin_ns = emit (Idle { w; begin_ns; end_ns = now_ns () })
+  let steal_event ~thief ~victim = emit (Steal { thief; victim; ts_ns = now_ns () })
+
+  let phase_event ~name ~w ~begin_ns ~end_ns =
+    emit (Phase { name; w; begin_ns; end_ns })
+
+  let with_root f =
+    if not (enabled ()) then f ()
+    else begin
+      let c = my_ctx () in
+      gc_sample ~w:0;
+      seg_open c ~construct:0 ~branch:0;
+      match f () with
+      | x ->
+        seg_close ~w:0 c;
+        gc_sample ~w:0;
+        x
+      | exception e ->
+        seg_close ~w:0 c;
+        gc_sample ~w:0;
+        raise e
+    end
+
+  let rec round_up_pow2 n k = if k >= n then k else round_up_pow2 n (k * 2)
+
+  let start ?(ring_capacity = default_capacity) () =
+    Atomic.set capacity (round_up_pow2 (max 16 ring_capacity) 16);
+    Mutex.lock registry_mutex;
+    rings := [];
+    Mutex.unlock registry_mutex;
+    Atomic.incr generation;
+    Atomic.set next_construct 1;
+    set_instr_bit recording_bit true
+
+  let stop () =
+    set_instr_bit recording_bit false;
+    Mutex.lock registry_mutex;
+    let rs = !rings in
+    rings := [];
+    Mutex.unlock registry_mutex;
+    Atomic.incr generation;
+    let dropped =
+      List.fold_left
+        (fun acc r -> acc + max 0 (r.total - Array.length r.buf))
+        0 rs
+    in
+    let events =
+      List.concat_map
+        (fun r ->
+          let cap = Array.length r.buf in
+          let n = min r.total cap in
+          let first = r.total - n in
+          List.init n (fun i -> r.buf.((first + i) land (cap - 1))))
+        rs
+    in
+    let events = List.sort (fun a b -> compare (ts_of a) (ts_of b)) events in
+    { events; dropped }
+end
+
+(* ------------------------------------------------------------------ *)
 (* Task tracing.
 
    Off by default and gated behind one atomic read per potential event, so
@@ -230,7 +526,6 @@ end
 module Trace = struct
   type event = { name : string; tid : int; ts_us : float; dur_us : float }
 
-  let enabled_flag = Atomic.make false
   let registry_mutex = Mutex.create ()
   let buffers : event list ref list ref = ref []
 
@@ -249,11 +544,15 @@ module Trace = struct
       slot := Some b;
       b
 
-  let enabled () = Atomic.get enabled_flag
-  let now_us () = Unix.gettimeofday () *. 1e6
+  let enabled () = Atomic.get instr_flags land tracing_bit <> 0
+
+  (* Monotonic microseconds (Rpb_prim.Timing) — durations can never go
+     negative across NTP slews.  The wall-clock epoch is reapplied in one
+     place, at Chrome-trace serialization. *)
+  let now_us () = Rpb_prim.Timing.now_us ()
 
   let record ~name ~tid ~ts_us ~dur_us =
-    if Atomic.get enabled_flag then begin
+    if enabled () then begin
       let b = my_buffer () in
       b := { name; tid; ts_us; dur_us } :: !b
     end
@@ -262,23 +561,32 @@ module Trace = struct
     Mutex.lock registry_mutex;
     List.iter (fun b -> b := []) !buffers;
     Mutex.unlock registry_mutex;
-    Atomic.set enabled_flag true
+    set_instr_bit tracing_bit true
 
   let stop () =
-    Atomic.set enabled_flag false;
+    set_instr_bit tracing_bit false;
     Mutex.lock registry_mutex;
     let evs = List.concat_map (fun b -> !b) !buffers in
     List.iter (fun b -> b := []) !buffers;
     Mutex.unlock registry_mutex;
     List.sort (fun a b -> compare a.ts_us b.ts_us) evs
 
+  (* Feeds both optional layers: a Chrome-trace span when tracing is on, a
+     [Phase] flight-recorder event when recording is on — behind a single
+     atomic load of the shared switch word when both are off. *)
   let span pool name f =
-    if not (Atomic.get enabled_flag) then f ()
+    if Atomic.get instr_flags = 0 then f ()
     else begin
-      let t0 = now_us () in
+      let t0_ns = Rpb_prim.Timing.monotonic_ns () in
       let finish () =
+        let t1_ns = Rpb_prim.Timing.monotonic_ns () in
         let tid = match my_index pool with Some i -> i | None -> -1 in
-        record ~name ~tid ~ts_us:t0 ~dur_us:(now_us () -. t0)
+        if enabled () then
+          record ~name ~tid
+            ~ts_us:(float_of_int t0_ns *. 1e-3)
+            ~dur_us:(float_of_int (t1_ns - t0_ns) *. 1e-3);
+        if Recorder.enabled () then
+          Recorder.phase_event ~name ~w:tid ~begin_ns:t0_ns ~end_ns:t1_ns
       in
       match f () with
       | x ->
@@ -316,7 +624,9 @@ module Trace = struct
             Printf.fprintf oc
               "\n\
                {\"name\":\"%s\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}"
-              (escape e.name) e.tid e.ts_us e.dur_us)
+              (escape e.name) e.tid
+              (Rpb_prim.Timing.epoch_of_monotonic_us e.ts_us)
+              e.dur_us)
           evs;
         output_string oc "\n]\n");
     List.length evs
@@ -505,6 +815,8 @@ let try_find_task pool my_idx rng =
           match Ws_deque.steal pool.deques.(v) with
           | Some _ as t ->
             c.(c_steals_ok) <- c.(c_steals_ok) + 1;
+            if Recorder.enabled () then
+              Recorder.steal_event ~thief:my_idx ~victim:v;
             if Fault.armed () then Fault.steal_site ();
             t
           | None ->
@@ -553,6 +865,9 @@ let worker_loop pool idx =
         else begin
           (* Sleep until new work is signalled (or shutdown). *)
           c.(c_idle) <- c.(c_idle) + 1;
+          let idle_t0 =
+            if Recorder.enabled () then Recorder.now_ns () else 0
+          in
           let seen = Atomic.get pool.wake_version in
           Mutex.lock pool.idle_mutex;
           Atomic.incr pool.sleepers;
@@ -561,6 +876,8 @@ let worker_loop pool idx =
           then Condition.wait pool.idle_cond pool.idle_mutex;
           Atomic.decr pool.sleepers;
           Mutex.unlock pool.idle_mutex;
+          if idle_t0 <> 0 && Recorder.enabled () then
+            Recorder.idle_event ~w:idx ~begin_ns:idle_t0;
           loop spin_budget
         end
   in
@@ -755,7 +1072,12 @@ let await pool p =
             else begin
               (* The task is running on another worker; yield the core. *)
               c.(c_idle) <- c.(c_idle) + 1;
+              let idle_t0 =
+                if Recorder.enabled () then Recorder.now_ns () else 0
+              in
               Unix.sleepf 5e-5;
+              if idle_t0 <> 0 && Recorder.enabled () then
+                Recorder.idle_event ~w:idx ~begin_ns:idle_t0;
               help 64
             end)
        | Done _ | Raised _ -> ()
@@ -885,26 +1207,57 @@ let join pool f g =
        let a = f () in
        let b = g () in
        (a, b)
-     | Some _ ->
+     | Some my_idx ->
        with_construct pool (fun scope ->
            (* Abandon early: a failed sibling anywhere in the scope stops
               this subtree before it forks more work.  One atomic load when
-              healthy. *)
+              healthy (plus one for the flight-recorder switch). *)
            if Atomic.get scope.cancel_flag then scope_raise scope;
-           let pg = spawn_task pool ~structured:true scope g in
-           match f () with
-           | a ->
-             let b = await pool pg in
-             (a, b)
-           | exception ef ->
-             let bt = Printexc.get_raw_backtrace () in
-             scope_cancel scope ef bt;
-             (* The sibling may already be running on another worker and
-                referencing caller state: wait for its promise to resolve (it
-                is skipped if it has not started) before unwinding, so the
-                exception never races its own branch's stack frames. *)
-             (match await pool pg with _ -> () | exception _ -> ());
-             Printexc.raise_with_backtrace ef bt))
+           if not (Recorder.enabled ()) then begin
+             let pg = spawn_task pool ~structured:true scope g in
+             match f () with
+             | a ->
+               let b = await pool pg in
+               (a, b)
+             | exception ef ->
+               let bt = Printexc.get_raw_backtrace () in
+               scope_cancel scope ef bt;
+               (* The sibling may already be running on another worker and
+                  referencing caller state: wait for its promise to resolve
+                  (it is skipped if it has not started) before unwinding, so
+                  the exception never races its own branch's stack frames. *)
+               (match await pool pg with _ -> () | exception _ -> ());
+               Printexc.raise_with_backtrace ef bt
+           end
+           else begin
+             (* Recording: this join becomes a construct in the recorded
+                series-parallel DAG.  The forking strand's segment is closed
+                at the fork, branch 0 (the inline branch) is tagged until it
+                returns, the spawned branch is tagged by the [run_branch]
+                wrapper wherever it executes, and no segment is open across
+                [await] — helping or waiting time is never charged as
+                work. *)
+             let fk = Recorder.fork ~w:my_idx in
+             let id, _, _ = fk in
+             let pg =
+               spawn_task pool ~structured:true scope
+                 (Recorder.run_branch pool id g)
+             in
+             Recorder.branch_open ~w:my_idx fk;
+             match f () with
+             | a ->
+               Recorder.seg_close_cur ~w:my_idx;
+               let b = await pool pg in
+               Recorder.join_done ~w:my_idx fk;
+               (a, b)
+             | exception ef ->
+               let bt = Printexc.get_raw_backtrace () in
+               Recorder.seg_close_cur ~w:my_idx;
+               scope_cancel scope ef bt;
+               (match await pool pg with _ -> () | exception _ -> ());
+               Recorder.join_done ~w:my_idx fk;
+               Printexc.raise_with_backtrace ef bt
+           end))
 
 let default_grain (pool : pool) n = max 1 (n / (8 * pool.num_workers))
 

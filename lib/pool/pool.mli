@@ -244,12 +244,95 @@ module Trace : sig
       pool).  When tracing is off the cost is a single atomic load. *)
 
   val record : name:string -> tid:int -> ts_us:float -> dur_us:float -> unit
-  (** Low-level hook: append one complete event (timestamps in microseconds,
-      as given by [Unix.gettimeofday () *. 1e6]).  Dropped when disabled. *)
+  (** Low-level hook: append one complete event.  Timestamps are monotonic
+      microseconds, as given by [Rpb_prim.Timing.now_us] — the wall-clock
+      epoch is applied once, at Chrome-trace serialization.  Dropped when
+      disabled. *)
 
   val stop_to_file : string -> int
   (** Stop recording, write all buffered events as Chrome-trace JSON to the
-      given path, clear the buffers, and return the number of events. *)
+      given path, clear the buffers, and return the number of events.
+      Timestamps are mapped onto the Unix epoch here (and only here), via
+      [Rpb_prim.Timing.epoch_of_monotonic_us]. *)
+end
+
+(** {1 Scheduler flight recorder}
+
+    The raw-event layer behind the work/span profiler in [lib/obs] ([rpb
+    profile]).  Off by default; it shares one process-global switch word with
+    {!Trace}, so every instrumented scheduler site — including
+    {!Trace.span} — costs a single atomic load when both layers are off.
+
+    When armed ({!Recorder.start}), each domain appends task-lifecycle events
+    into its own lock-free ring buffer: single writer, drop-oldest on
+    overflow, with the number of dropped events reported by
+    {!Recorder.stop}.  The events carry series-parallel provenance — every
+    {!join} (and through it every [parallel_for] split) allocates a fresh
+    construct id and records which (construct, branch) strand forked it —
+    plus [Work] strand segments, steal and idle episodes, {!Trace.span}
+    phases, and periodic per-domain [Gc.quick_stat] samples.  That is enough
+    to reconstruct the fork-join DAG offline and compute work, span, and
+    burdened parallelism; see [Rpb_obs.Sp_dag]. *)
+
+module Recorder : sig
+  type event =
+    | Fork of {
+        id : int;  (** fresh construct id of this [join] *)
+        parent : int;  (** construct id of the forking strand *)
+        parent_branch : int;  (** branch of [parent] the forking strand is on *)
+        w : int;
+        ts_ns : int;
+      }
+    | Join of { id : int; w : int; ts_ns : int }
+    | Work of {
+        construct : int;
+        branch : int;  (** 0 = inline branch, 1 = spawned branch *)
+        w : int;
+        begin_ns : int;
+        end_ns : int;
+      }  (** A strand segment: [w] computed for [construct]/[branch] over
+            [\[begin_ns, end_ns)].  Waiting and helping in [await] is never
+            covered by a [Work] segment. *)
+    | Exec of { construct : int; w : int; begin_ns : int }
+        (** The spawned branch of [construct] began executing; paired with
+            the matching [Fork] it measures the fork→exec queue delay that
+            burdens the span. *)
+    | Steal of { thief : int; victim : int; ts_ns : int }
+    | Idle of { w : int; begin_ns : int; end_ns : int }
+    | Phase of { name : string; w : int; begin_ns : int; end_ns : int }
+        (** A {!Trace.span} observed while recording. *)
+    | Gc_sample of {
+        w : int;
+        ts_ns : int;
+        minor_collections : int;
+        major_collections : int;
+        promoted_words : float;
+        minor_words : float;
+      }  (** Periodic per-domain [Gc.quick_stat] snapshot (cumulative values;
+            consumers take deltas). *)
+
+  val ts_of : event -> int
+  (** The event's (begin) timestamp, for sorting. *)
+
+  type recording = { events : event list; dropped : int }
+  (** All surviving events, sorted by timestamp, plus how many were lost to
+      ring overflow ([dropped = 0] means the rings were large enough). *)
+
+  val enabled : unit -> bool
+
+  val start : ?ring_capacity:int -> unit -> unit
+  (** Arm the recorder with fresh per-domain rings of [ring_capacity] events
+      each (rounded up to a power of two; default 32Ki).  Any events from a
+      previous session are discarded. *)
+
+  val stop : unit -> recording
+  (** Disarm and collect every domain's ring into one sorted event list. *)
+
+  val with_root : (unit -> 'a) -> 'a
+  (** [with_root f] brackets [f] as the root strand (construct 0, branch 0)
+      of the recorded DAG, with GC samples at both ends, so top-level compute
+      between forks is charged as work.  No-op when disabled.  Call it on the
+      domain that calls {!run}, around the workload being profiled. *)
 end
 
 (** {1 Scheduler fault injection}

@@ -1,4 +1,24 @@
-let now () = Unix.gettimeofday ()
+(* All timestamps in this repo come from one clock: CLOCK_MONOTONIC, via the
+   allocation-free C stub below.  [Unix.gettimeofday] is only consulted once,
+   to fix the epoch offset that maps monotonic timestamps back onto wall-clock
+   time for human-facing output (the Chrome-trace writer). *)
+
+external monotonic_ns : unit -> int = "rpb_clock_monotonic_ns" [@@noalloc]
+
+let now () = float_of_int (monotonic_ns ()) *. 1e-9
+
+let now_us () = float_of_int (monotonic_ns ()) *. 1e-3
+
+(* The one place the monotonic clock is pinned to the wall clock.  Computed
+   once at module initialisation; every consumer (Chrome-trace serialization)
+   goes through [epoch_of_monotonic_us] so the offset lives in exactly one
+   place. *)
+let epoch_offset_s =
+  let wall = Unix.gettimeofday () in
+  let mono = float_of_int (monotonic_ns ()) *. 1e-9 in
+  wall -. mono
+
+let epoch_of_monotonic_us us = us +. (epoch_offset_s *. 1e6)
 
 let time f =
   let t0 = now () in

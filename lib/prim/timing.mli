@@ -1,7 +1,25 @@
-(** Wall-clock timing helpers for the benchmark harness. *)
+(** Wall-clock timing helpers for the benchmark harness.
+
+    Every timestamp comes from [CLOCK_MONOTONIC] (an allocation-free C stub),
+    so durations can never go negative across NTP slews; the wall-clock epoch
+    enters in exactly one place, {!epoch_of_monotonic_us}. *)
+
+val monotonic_ns : unit -> int
+(** Nanoseconds on the monotonic clock (arbitrary epoch, typically boot).
+    Allocation-free — safe to call on scheduler hot paths and inside the
+    flight recorder. *)
 
 val now : unit -> float
-(** Monotonic wall-clock time in seconds. *)
+(** Monotonic time in seconds. *)
+
+val now_us : unit -> float
+(** Monotonic time in microseconds (the Chrome-trace unit). *)
+
+val epoch_of_monotonic_us : float -> float
+(** Map a monotonic microsecond timestamp onto the Unix epoch, using the
+    wall-vs-monotonic offset sampled once at program start.  This is the only
+    place the two clocks meet; use it when serializing human-facing
+    timestamps (the Chrome-trace writer does). *)
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)

@@ -1,0 +1,23 @@
+/* Monotonic clock for the timing/tracing layer.
+
+   CLOCK_MONOTONIC never jumps backwards across NTP slews, which is what the
+   benchmark timers and the scheduler flight recorder need.  The value is
+   returned as a tagged OCaml int (nanoseconds since an arbitrary epoch,
+   typically boot): 62 bits of nanoseconds is ~146 years, so the tag bit is
+   never a concern, and the call is allocation-free ([@@noalloc] on the
+   OCaml side). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value rpb_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

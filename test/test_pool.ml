@@ -324,6 +324,47 @@ let test_stats_diff_and_reset () =
       Alcotest.(check int) "reset zeroes tasks" 0 (Pool.Stats.tasks_executed z);
       Alcotest.(check int) "reset zeroes depth" 0 (Pool.Stats.max_deque_depth z))
 
+(* Pins the intended [max_deque_depth] semantics across repeated
+   bench-iteration loops (the `rpb stats`/measure pattern: snapshot, work,
+   snapshot, diff).  Monotonic counters are window-relative after [diff];
+   the depth high-water mark deliberately is NOT — [diff] keeps the [after]
+   snapshot's lifetime value (a high-water mark of a window that did less
+   work than a previous one would under-report the deque pressure the pool
+   has proven it can reach), and only [reset] rearms it. *)
+let test_stats_depth_high_water_semantics () =
+  with_pool 3 (fun pool ->
+      let deep () =
+        Pool.run pool (fun () ->
+            Pool.parallel_for ~grain:1 ~start:0 ~finish:2_000
+              ~body:(fun _ -> ())
+              pool)
+      in
+      deep ();
+      let a = Pool.Stats.capture pool in
+      let depth_after_work = Pool.Stats.max_deque_depth a in
+      Alcotest.(check bool) "fork-join reached some depth" true
+        (depth_after_work > 0);
+      (* A quiescent window: monotonic counters diff to zero, but the
+         high-water mark keeps reporting the lifetime value. *)
+      let b = Pool.Stats.capture pool in
+      let d = Pool.Stats.diff ~before:a ~after:b in
+      Alcotest.(check int) "quiescent window ran nothing" 0
+        (Pool.Stats.tasks_executed d);
+      Alcotest.(check int) "high-water survives diff (lifetime, not window)"
+        depth_after_work
+        (Pool.Stats.max_deque_depth d);
+      (* Another iteration can only raise it: the mark is monotonic until
+         reset, never per-window. *)
+      deep ();
+      let c = Pool.Stats.capture pool in
+      let d2 = Pool.Stats.diff ~before:b ~after:c in
+      Alcotest.(check bool) "next window's mark is >= previous" true
+        (Pool.Stats.max_deque_depth d2 >= depth_after_work);
+      (* [reset] is the only rearm point. *)
+      Pool.Stats.reset pool;
+      Alcotest.(check int) "reset rearms the mark" 0
+        (Pool.Stats.max_deque_depth (Pool.Stats.capture pool)))
+
 let test_stats_compat_string () =
   with_pool 2 (fun pool ->
       Pool.run pool (fun () ->
@@ -686,6 +727,8 @@ let () =
           Alcotest.test_case "single worker: zero steals" `Quick
             test_stats_single_worker_no_steals;
           Alcotest.test_case "diff and reset" `Quick test_stats_diff_and_reset;
+          Alcotest.test_case "depth high-water semantics" `Quick
+            test_stats_depth_high_water_semantics;
           Alcotest.test_case "deprecated stats string" `Quick
             test_stats_compat_string;
           Alcotest.test_case "trace span" `Quick test_trace_span_records_events;

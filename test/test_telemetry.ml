@@ -125,6 +125,35 @@ let test_doc_rejects_wrong_schema_version () =
   | _ -> Alcotest.fail "accepted wrong schema_version"
   | exception Bench_json.Parse_error _ -> ()
 
+let test_doc_emits_v2 () =
+  Alcotest.(check int) "writer version" 2 Bench_json.schema_version;
+  let j = Bench_json.doc ~meta:[] [ sample_record ] in
+  Alcotest.(check int) "documents carry schema_version 2" 2
+    Bench_json.(get_int (member "schema_version" j));
+  Alcotest.(check bool) "v2 parses" true
+    (Bench_json.records_of_doc j = [ sample_record ])
+
+(* A checked-in schema_version=1 document, as PR 1's writer emitted it —
+   pinned as a string literal so reader back-compat cannot silently rot. *)
+let v1_document =
+  "{\"schema_version\":1,\"meta\":{\"generator\":\"rpb-bench\",\"scale\":0},\
+   \"results\":[{\"bench\":\"sort\",\"input\":\"exponential\",\
+   \"mode\":\"unsafe\",\"scale\":0,\"threads\":2,\"repeats\":1,\
+   \"mean_ns\":1500000.0,\"min_ns\":1500000.0,\"verified\":true,\
+   \"workers\":[{\"id\":0,\"tasks\":10,\"steals_ok\":1,\"steals_failed\":2,\
+   \"idle\":0,\"max_deque_depth\":3}]}]}"
+
+let test_v1_document_still_parses () =
+  let records = Bench_json.records_of_doc (Bench_json.of_string v1_document) in
+  match records with
+  | [ r ] ->
+    Alcotest.(check string) "bench" "sort" r.Bench_json.bench;
+    Alcotest.(check int) "threads" 2 r.Bench_json.threads;
+    Alcotest.(check int) "worker rows" 1 (List.length r.Bench_json.workers);
+    Alcotest.(check int) "worker max_deque_depth" 3
+      (List.hd r.Bench_json.workers).Bench_json.max_deque_depth
+  | _ -> Alcotest.fail "expected exactly one record in the v1 document"
+
 (* ---------- per-run stat capture ---------- *)
 
 let test_measure_entry_captures_stats () =
@@ -220,6 +249,9 @@ let () =
           Alcotest.test_case "doc via file" `Quick test_doc_roundtrip_via_file;
           Alcotest.test_case "schema version check" `Quick
             test_doc_rejects_wrong_schema_version;
+          Alcotest.test_case "writer emits v2" `Quick test_doc_emits_v2;
+          Alcotest.test_case "v1 back-compat" `Quick
+            test_v1_document_still_parses;
         ] );
       ( "capture",
         [
