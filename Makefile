@@ -1,4 +1,5 @@
-.PHONY: all build test bench examples doc clean check-race check-fault profile-smoke
+.PHONY: all build test bench examples doc clean check-race check-fault profile-smoke \
+	compare-smoke report-smoke perf-gate save-baseline
 
 all: build
 
@@ -48,6 +49,37 @@ check-race:
 # The outer timeout is the hang detector of last resort.
 check-fault:
 	timeout 900 dune exec bin/rpb.exe -- faults --seed 42 --deadline 30 --json FAULT_report.json
+
+# Statistical no-false-positive check: two fresh runs of the same binary
+# must compare clean — `rpb compare` only flags a configuration when the
+# change clears a noise-widened band AND a permutation test over the
+# per-repeat samples agrees (exit 3 = flagged regression).
+compare-smoke:
+	dune exec bin/rpb.exe -- bench sort --scale 0 --repeats 5 --threads 4 --json BENCH_smoke_a.json
+	dune exec bin/rpb.exe -- bench sort --scale 0 --repeats 5 --threads 4 --json BENCH_smoke_b.json
+	dune exec bin/rpb.exe -- compare BENCH_smoke_a.json BENCH_smoke_b.json --json COMPARE_smoke.json
+
+# CI perf-gate job: fresh per-repeat samples for every benchmark, compared
+# against the committed baseline store (bench/baselines/).  The committed
+# baselines come from a different machine class, so the gate runs with a
+# 1.0 (i.e. 2x) flat threshold and only catches gross regressions — the
+# tight same-machine trajectory is compare-smoke's job.  Exit 3 fails CI.
+perf-gate:
+	dune exec bin/rpb.exe -- bench all --scale 0 --repeats 5 --threads 4 --seq --json BENCH_gate.json
+	dune exec bin/rpb.exe -- compare bench/baselines BENCH_gate.json --threshold 1.0 --json COMPARE_gate.json
+	dune exec bin/rpb.exe -- report BENCH_gate.json COMPARE_gate.json -o REPORT_perf_gate.html --md REPORT_perf_gate.md
+
+# Refresh the committed baseline store from this machine (then commit the
+# changed bench/baselines/*.json).
+save-baseline:
+	dune exec bin/rpb.exe -- bench all --scale 0 --repeats 5 --threads 4 --seq --save-baseline
+
+# One unified dashboard out of freshly generated artifacts (bench + profile).
+report-smoke:
+	dune exec bin/rpb.exe -- bench sort --scale 0 --repeats 3 --threads 4 --seq --json BENCH_report_smoke.json
+	dune exec bin/rpb.exe -- profile --bench sort --threads 4 --scale 0 --json PROFILE_report_smoke.json
+	dune exec bin/rpb.exe -- report BENCH_report_smoke.json PROFILE_report_smoke.json -o REPORT_smoke.html --md REPORT_smoke.md
+	test -s REPORT_smoke.html
 
 examples:
 	dune exec examples/quickstart.exe

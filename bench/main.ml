@@ -51,13 +51,22 @@ let with_pool n f =
 (* The paper reports means over repeats on a quiet dedicated machine; on a
    shared container the min is the standard noise-robust estimator, so the
    human tables report min-of-repeats (the JSON records carry both). *)
-let time_benchmark pool cfg e input how =
+let time_benchmark ?(smoke = false) pool cfg e input how =
   let record, size =
-    Registry.measure_entry pool ~entry:e ~input ~scale:cfg.scale
+    Registry.measure_entry ~smoke pool ~entry:e ~input ~scale:cfg.scale
       ~repeats:cfg.repeats ~how
   in
   record_result record;
   (record.Bench_json.min_ns /. 1e9, record.Bench_json.verified, size)
+
+(* Every ad-hoc timing below (fig6, ablation, extras) goes through this one
+   sampling call: the workload runs exactly [repeats] times and every
+   estimator — mean for the paper-style tables, min for the extras — is
+   derived from the same per-repeat sample vector, never from separate
+   re-runs per estimator. *)
+let sampled cfg f = Rpb_prim.Timing.samples ~repeats:cfg.repeats f
+let mean_t ts = Rpb_obs.Stats.mean ts
+let best_t ts = Rpb_obs.Stats.minimum ts
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: benchmarks and their parallel access patterns.              *)
@@ -91,8 +100,9 @@ let table1 cfg =
         List.iter
           (fun e ->
             let input = List.hd e.Common.inputs in
+            (* smoke-flagged: one-shot runs, excluded from `rpb compare` *)
             let t, ok, size =
-              time_benchmark pool cfg e input (`Par Mode.Unsafe)
+              time_benchmark ~smoke:true pool cfg e input (`Par Mode.Unsafe)
             in
             Printf.printf "  %-6s %-28s %10.4f s  [%s]\n" e.Common.name
               (Printf.sprintf "%s (%s)" input size)
@@ -294,11 +304,12 @@ let fig6 cfg =
             (fun v ->
               let data = Array.copy input in
               match
-                Rpb_prim.Timing.mean_of ~repeats:cfg.repeats (fun () ->
+                sampled cfg (fun () ->
                     Array.blit input 0 data 0 n;
                     v.Appendix_a.run ~workers:cfg.threads ~pool data)
               with
-              | (), t ->
+              | (), ts ->
+                let t = mean_t ts in
                 let ok = data.(42) = expected_sample in
                 Printf.printf "%-22s %12.4f %8d   %s\n" v.Appendix_a.name t
                   v.Appendix_a.lines_of_code
@@ -323,13 +334,13 @@ let ablation cfg =
           Printf.printf "1. parallel_for grain (n = %d):\n" n;
           List.iter
             (fun grain ->
-              let (), t =
-                Rpb_prim.Timing.mean_of ~repeats:cfg.repeats (fun () ->
+              let (), ts =
+                sampled cfg (fun () ->
                     Rpb_pool.Pool.parallel_for ~grain ~start:0 ~finish:n
                       ~body:(fun i -> Array.unsafe_set v i (Rpb_prim.Rng.hash64 i))
                       pool)
               in
-              Printf.printf "   grain %8d: %10.4f s\n" grain t)
+              Printf.printf "   grain %8d: %10.4f s\n" grain (mean_t ts))
             [ 64; 1024; 16384; n / (8 * cfg.threads) ];
           (* 2. Scatter uniqueness-check strategy. *)
           let m = 1 lsl (16 + cfg.scale) in
@@ -337,11 +348,11 @@ let ablation cfg =
           Printf.printf "2. SngInd uniqueness check strategy (m = %d):\n" m;
           List.iter
             (fun (name, strategy) ->
-              let (), t =
-                Rpb_prim.Timing.mean_of ~repeats:cfg.repeats (fun () ->
+              let (), ts =
+                sampled cfg (fun () ->
                     Rpb_core.Scatter.validate_offsets ~strategy pool ~n:m offsets)
               in
-              Printf.printf "   %-12s %10.4f s\n" name t)
+              Printf.printf "   %-12s %10.4f s\n" name (mean_t ts))
             [ ("mark-table", Rpb_core.Scatter.Mark_table);
               ("sort-based", Rpb_core.Scatter.Sort_based) ];
           (* 3. MultiQueue lane multiplier on sssp. *)
@@ -353,12 +364,12 @@ let ablation cfg =
             (Graph_inputs.describe g);
           List.iter
             (fun c ->
-              let (), t =
-                Rpb_prim.Timing.mean_of ~repeats:cfg.repeats (fun () ->
+              let (), ts =
+                sampled cfg (fun () ->
                     ignore
                       (Rpb_graph.Traverse.sssp ~queues_per_worker:c pool g ~src:0))
               in
-              Printf.printf "   c = %d: %10.4f s\n" c t)
+              Printf.printf "   c = %d: %10.4f s\n" c (mean_t ts))
             [ 1; 2; 4 ];
           (* 4. bw decode: sequential chase vs parallel list ranking. *)
           let text = Rpb_text.Text_gen.wiki ~size:(1 lsl (14 + cfg.scale)) ~seed:31 in
@@ -366,8 +377,8 @@ let ablation cfg =
           Printf.printf "4. bw decode strategy (%d bytes):\n" (String.length text);
           List.iter
             (fun (name, f) ->
-              let (), t = Rpb_prim.Timing.mean_of ~repeats:cfg.repeats f in
-              Printf.printf "   %-22s %10.4f s\n" name t)
+              let (), ts = sampled cfg f in
+              Printf.printf "   %-22s %10.4f s\n" name (mean_t ts))
             [
               ("sequential chase", fun () -> ignore (Rpb_text.Bwt.decode pool encoded));
               ( "parallel list-ranking",
@@ -379,13 +390,13 @@ let ablation cfg =
           Printf.printf "5. sample sort oversampling (n = %d):\n" m;
           List.iter
             (fun ov ->
-              let (), t =
-                Rpb_prim.Timing.mean_of ~repeats:cfg.repeats (fun () ->
+              let (), ts =
+                sampled cfg (fun () ->
                     ignore
                       (Rpb_parseq.Sort.sample_sort_with ~oversample:ov pool
                          ~cmp:compare keys))
               in
-              Printf.printf "   oversample %3d: %10.4f s\n" ov t)
+              Printf.printf "   oversample %3d: %10.4f s\n" ov (mean_t ts))
             [ 2; 8; 32 ]))
 
 (* ------------------------------------------------------------------ *)
@@ -397,8 +408,8 @@ let extras cfg =
   with_pool cfg.threads (fun pool ->
       Rpb_pool.Pool.run pool (fun () ->
           let t name f =
-            let x, dt = Rpb_prim.Timing.best_of ~repeats:cfg.repeats f in
-            Printf.printf "%-34s %10.4f s   %s\n" name dt x;
+            let x, ts = sampled cfg f in
+            Printf.printf "%-34s %10.4f s   %s\n" name (best_t ts) x;
             flush stdout
           in
           let g =

@@ -6,7 +6,10 @@
    rpb run all --scale 1
    rpb stats --threads 4 --json stats.json --trace trace.json
    rpb check --seed 42 --json CHECK_report.json
-   rpb profile --bench sort --threads 8 --json PROFILE_sort.json *)
+   rpb profile --bench sort --threads 8 --json PROFILE_sort.json
+   rpb bench all --repeats 7 --json BENCH_run.json --save-baseline
+   rpb compare bench/baselines BENCH_run.json --threshold 0.1
+   rpb report BENCH_run.json PROFILE_sort.json -o REPORT.html *)
 
 open Cmdliner
 open Rpb_benchmarks
@@ -178,6 +181,8 @@ let stats_run ~threads ~tasks ~work ~json ~trace =
          repeats = 1;
          mean_ns = elapsed *. 1e9;
          min_ns = elapsed *. 1e9;
+         samples_ns = [| elapsed *. 1e9 |];
+         smoke = false;
          verified = true;
          workers = Bench_json.workers_of_pool_stats s;
        }
@@ -359,11 +364,255 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bench $ input $ mode $ threads $ scale $ seed $ json)
 
+(* ---- bench: measured records for the baseline store / perf trajectory ---- *)
+
+let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~with_seq ~json
+    ~baseline_dir =
+  let names = if name = "all" then Registry.names else [ name ] in
+  let missing = List.filter (fun n -> Registry.find n = None) names in
+  if missing <> [] then begin
+    Printf.eprintf "unknown benchmark %s (try `rpb list`)\n"
+      (String.concat ", " missing);
+    1
+  end
+  else begin
+    let records = ref [] in
+    let failed = ref false in
+    let measure pool e input how =
+      let r, size = Registry.measure_entry pool ~entry:e ~input ~scale ~repeats ~how in
+      records := r :: !records;
+      if not r.Bench_json.verified then failed := true;
+      Printf.printf "%-6s input=%s (%s) %-7s threads=%d: %.4f s (median of %d)  [%s]\n"
+        r.Bench_json.bench input size r.Bench_json.mode r.Bench_json.threads
+        (Rpb_obs.Baseline.estimate_ns r /. 1e9)
+        repeats
+        (if r.Bench_json.verified then "verified" else "VERIFICATION FAILED");
+      flush stdout
+    in
+    List.iter
+      (fun n ->
+        let e = Option.get (Registry.find n) in
+        let input =
+          match input with Some i -> i | None -> List.hd e.Common.inputs
+        in
+        if with_seq then begin
+          let pool = Rpb_pool.Pool.create ~num_workers:1 () in
+          Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool)
+            (fun () -> measure pool e input `Seq)
+        end;
+        let pool = Rpb_pool.Pool.create ~num_workers:threads () in
+        Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool)
+          (fun () -> measure pool e input (`Par mode)))
+      names;
+    let records = List.rev !records in
+    (match json with
+     | None -> ()
+     | Some path ->
+       Bench_json.write_doc ~path
+         ~meta:
+           [
+             ("generator", Bench_json.Str "rpb-bench-cli");
+             ("scale", Bench_json.Int scale);
+             ("threads", Bench_json.Int threads);
+             ("repeats", Bench_json.Int repeats);
+           ]
+         records;
+       Printf.printf "wrote %d benchmark records to %s\n"
+         (List.length records) path);
+    (match baseline_dir with
+     | None -> ()
+     | Some dir ->
+       let paths = Rpb_obs.Baseline.save ~dir records in
+       Printf.printf "baseline store updated: %s\n" (String.concat ", " paths));
+    if !failed then 2 else 0
+  end
+
+let bench_cmd =
+  let doc =
+    "Time benchmarks with per-repeat samples (schema v3) for the perf \
+     trajectory: write a BENCH document with --json and/or merge the records \
+     into the committed baseline store with --save-baseline."
+  in
+  let bench_arg =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"BENCH" ~doc:"benchmark name or `all`")
+  in
+  let input =
+    Arg.(value & opt (some string) None & info [ "input"; "i" ] ~docv:"INPUT")
+  in
+  let scale = Arg.(value & opt int 0 & info [ "scale"; "s" ] ~docv:"N") in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"P") in
+  let repeats =
+    Arg.(value & opt int 5
+         & info [ "repeats"; "r" ] ~docv:"R"
+             ~doc:"per-repeat samples per configuration (>= 3 enables the \
+                   permutation test in `rpb compare`)")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Unsafe
+         & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"unsafe | checked | sync")
+  in
+  let seq =
+    Arg.(value & flag
+         & info [ "seq" ]
+             ~doc:"also time the sequential baseline (1 worker) per benchmark")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"write a Bench_json document")
+  in
+  let baseline =
+    Arg.(value & opt ~vopt:(Some "bench/baselines") (some string) None
+         & info [ "save-baseline" ] ~docv:"DIR"
+             ~doc:"merge the records into the baseline store (default \
+                   $(docv): bench/baselines)")
+  in
+  let run name input scale threads repeats mode seq json baseline =
+    exit
+      (bench_run ~name ~input ~scale ~threads ~repeats ~mode ~with_seq:seq
+         ~json ~baseline_dir:baseline)
+  in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ bench_arg $ input $ scale $ threads $ repeats $ mode
+          $ seq $ json $ baseline)
+
+(* ---- compare: noise-aware regression gate ---- *)
+
+let compare_run ~old_path ~new_path ~threshold ~alpha ~noise_mult ~seed ~json =
+  match
+    (Rpb_obs.Baseline.load old_path, Rpb_obs.Baseline.load new_path)
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "compare: %s\n" msg;
+    1
+  | exception Bench_json.Parse_error msg ->
+    Printf.eprintf "compare: parse error: %s\n" msg;
+    1
+  | baseline, current ->
+    let r =
+      Rpb_obs.Baseline.compare_records ~threshold ~alpha ~noise_mult ~seed
+        ~baseline ~current ()
+    in
+    print_string (Rpb_obs.Baseline.summary r);
+    (match json with
+     | None -> ()
+     | Some path ->
+       Rpb_obs.Baseline.write_json ~path r;
+       Printf.printf "wrote comparison document to %s\n" path);
+    if Rpb_obs.Baseline.ok r then 0 else 3
+
+let compare_cmd =
+  let doc =
+    "Compare two benchmark runs (files or baseline directories) and classify \
+     every shared configuration as improved / unchanged / regressed.  A \
+     change is only flagged when it clears a noise-widened tolerance band \
+     AND a permutation test over the per-repeat samples finds it \
+     significant, so same-binary re-runs compare clean.  Exits 3 on \
+     regression (the CI perf-gate signal)."
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OLD" ~doc:"baseline: a BENCH_*.json file or a \
+                                     baseline directory")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"NEW" ~doc:"candidate run: file or directory")
+  in
+  let threshold =
+    Arg.(value & opt float 0.10
+         & info [ "threshold" ] ~docv:"FRACTION"
+             ~doc:"flat relative tolerance before noise widening (0.10 = \
+                   10%)")
+  in
+  let alpha =
+    Arg.(value & opt float 0.05
+         & info [ "alpha" ] ~docv:"A" ~doc:"permutation-test significance \
+                                            level")
+  in
+  let noise_mult =
+    Arg.(value & opt float 3.0
+         & info [ "noise-mult" ] ~docv:"K"
+             ~doc:"band widening: K * (MAD-sigma old + new) / old estimate")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"permutation-test resampling seed \
+                                           (deterministic)")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"write the kind=compare document (feeds `rpb report`)")
+  in
+  let run old_path new_path threshold alpha noise_mult seed json =
+    exit
+      (compare_run ~old_path ~new_path ~threshold ~alpha ~noise_mult ~seed
+         ~json)
+  in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(const run $ old_arg $ new_arg $ threshold $ alpha $ noise_mult
+          $ seed $ json)
+
+(* ---- report: the unified dashboard ---- *)
+
+let report_run ~files ~out ~md =
+  let a = Rpb_obs.Report.load_files files in
+  List.iter
+    (fun (path, msg) -> Printf.eprintf "report: skipping %s: %s\n" path msg)
+    a.Rpb_obs.Report.errors;
+  Rpb_obs.Report.write_html ~path:out a;
+  Printf.printf
+    "wrote %s (%d bench record(s), %d profile(s), %d check(s), %d fault \
+     sweep(s), %d comparison(s))\n"
+    out
+    (List.length a.Rpb_obs.Report.bench)
+    (List.length a.Rpb_obs.Report.profiles)
+    (List.length a.Rpb_obs.Report.checks)
+    (List.length a.Rpb_obs.Report.faults)
+    (List.length a.Rpb_obs.Report.compares);
+  (match md with
+   | None -> ()
+   | Some path ->
+     let oc = open_out path in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (Rpb_obs.Report.to_markdown a));
+     Printf.printf "wrote %s\n" path);
+  if a.Rpb_obs.Report.sources = [] then begin
+    Printf.eprintf "report: no artifact parsed\n";
+    1
+  end
+  else 0
+
+let report_cmd =
+  let doc =
+    "Merge BENCH/PROFILE/CHECK/FAULT/compare JSON artifacts into one \
+     self-contained HTML dashboard: speedup curves, the fear-spectrum \
+     overhead table, per-benchmark work/span/parallelism, correctness and \
+     fault verdicts, and the baseline trajectory."
+  in
+  let files =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"artifact JSON files, any mix of kinds")
+  in
+  let out =
+    Arg.(value & opt string "REPORT.html"
+         & info [ "o"; "out" ] ~docv:"FILE" ~doc:"HTML output path")
+  in
+  let md =
+    Arg.(value & opt (some string) None
+         & info [ "md" ] ~docv:"FILE"
+             ~doc:"also write a markdown digest (CI job summaries)")
+  in
+  let run files out md = exit (report_run ~files ~out ~md) in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run $ files $ out $ md)
+
 let () =
   let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
   let info = Cmd.info "rpb" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; patterns_cmd; run_cmd; stats_cmd; check_cmd; faults_cmd;
-            profile_cmd ]))
+          [ list_cmd; patterns_cmd; run_cmd; bench_cmd; stats_cmd; check_cmd;
+            faults_cmd; profile_cmd; compare_cmd; report_cmd ]))

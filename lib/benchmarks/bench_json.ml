@@ -261,6 +261,10 @@ let member key = function
      with Not_found -> raise (Parse_error ("missing key " ^ key)))
   | _ -> raise (Parse_error ("not an object while looking up " ^ key))
 
+let member_opt key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> raise (Parse_error ("not an object while looking up " ^ key))
+
 let get_int = function
   | Int i -> i
   | j -> raise (Parse_error ("not an int: " ^ to_string j))
@@ -286,9 +290,13 @@ let get_list = function
 
 (* v2 added the "profile" document kind (rpb profile, lib/obs) on top of the
    v1 benchmark-results shape; the results schema itself is unchanged, so
-   readers keep accepting v1 documents. *)
-let schema_version = 2
-let accepted_schema_versions = [ 1; 2 ]
+   readers keep accepting v1 documents.  v3 adds the full per-repeat sample
+   vector ("samples_ns") and the smoke-run flag ("smoke") to each result
+   record; both are optional on read, so v1/v2 records — and v3 records mixed
+   into the same document — parse with sane defaults (no samples, not a
+   smoke run). *)
+let schema_version = 3
+let accepted_schema_versions = [ 1; 2; 3 ]
 
 type worker_stats = {
   worker_id : int;
@@ -308,6 +316,12 @@ type record = {
   repeats : int;
   mean_ns : float;
   min_ns : float;
+  samples_ns : float array;
+      (* per-repeat elapsed times in run order (v3); [||] when the emitting
+         writer predates v3 *)
+  smoke : bool;
+      (* one-shot smoke run (registry listing under --json): excluded from
+         baseline comparison so it can't masquerade as a trajectory point *)
   verified : bool;
   workers : worker_stats list;
 }
@@ -358,6 +372,8 @@ let record_to_json r =
       ("repeats", Int r.repeats);
       ("mean_ns", Float r.mean_ns);
       ("min_ns", Float r.min_ns);
+      ("samples_ns", List (Array.to_list (Array.map (fun s -> Float s) r.samples_ns)));
+      ("smoke", Bool r.smoke);
       ("verified", Bool r.verified);
       ("workers", List (List.map worker_to_json r.workers));
     ]
@@ -372,6 +388,17 @@ let record_of_json j =
     repeats = get_int (member "repeats" j);
     mean_ns = get_float (member "mean_ns" j);
     min_ns = get_float (member "min_ns" j);
+    samples_ns =
+      (* Absent before v3: no per-repeat vector was recorded.  Consumers that
+         need samples (Baseline.compare) treat [||] as "point estimates
+         only" and fall back to the threshold band on mean/min. *)
+      (match member_opt "samples_ns" j with
+       | None | Some Null -> [||]
+       | Some l -> Array.of_list (List.map get_float (get_list l)));
+    smoke =
+      (match member_opt "smoke" j with
+       | None | Some Null -> false
+       | Some b -> get_bool b);
     verified = get_bool (member "verified" j);
     workers = List.map worker_of_json (get_list (member "workers" j));
   }

@@ -29,6 +29,11 @@ val of_string : string -> json
 val member : string -> json -> json
 (** Object field lookup. @raise Parse_error when absent or not an object. *)
 
+val member_opt : string -> json -> json option
+(** Like {!member} but [None] when the key is absent (still
+    @raise Parse_error when the value is not an object).  The accessor for
+    fields added by later schema versions. *)
+
 val get_int : json -> int
 
 val get_float : json -> float
@@ -42,11 +47,12 @@ val get_list : json -> json list
 
 val schema_version : int
 (** Version written into every emitted document.  v2 added the "profile"
-    document kind ([rpb profile], [Rpb_obs]); the benchmark-results shape is
-    unchanged from v1. *)
+    document kind ([rpb profile], [Rpb_obs]); v3 added the per-repeat
+    [samples_ns] vector and the [smoke] flag to each result record (both
+    optional on read, so older documents keep parsing). *)
 
 val accepted_schema_versions : int list
-(** Versions {!records_of_doc} still parses (currently [[1; 2]]). *)
+(** Versions {!records_of_doc} still parses (currently [[1; 2; 3]]). *)
 
 type worker_stats = {
   worker_id : int;
@@ -66,6 +72,13 @@ type record = {
   repeats : int;
   mean_ns : float;
   min_ns : float;
+  samples_ns : float array;
+      (** per-repeat elapsed times in run order (v3); [[||]] when read from a
+          pre-v3 document — the statistics layer ([Rpb_obs.Stats]) then falls
+          back to the point estimates *)
+  smoke : bool;
+      (** one-shot smoke run (the [--json] registry listing): never compared
+          against baselines *)
   verified : bool;
   workers : worker_stats list;
 }

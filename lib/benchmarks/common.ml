@@ -35,12 +35,15 @@ let scaled base scale = base * (1 lsl scale)
 type measurement = {
   mean_s : float;
   min_s : float;
+  samples_s : float array;
   pool_stats : Rpb_pool.Pool.Stats.t;
 }
 
 (* Times [f] over [repeats] runs and attributes the scheduler activity of the
    whole window (all repeats) to the measurement, by diffing per-worker
-   counter snapshots taken around it. *)
+   counter snapshots taken around it.  The workload runs exactly [repeats]
+   times: every estimator (mean, min, median...) is derived from the one
+   sample vector, never from separate re-runs. *)
 let measure pool ~repeats f =
   let before = Rpb_pool.Pool.Stats.capture pool in
   let (), times = Rpb_prim.Timing.samples ~repeats f in
@@ -49,5 +52,6 @@ let measure pool ~repeats f =
   {
     mean_s = Array.fold_left ( +. ) 0.0 times /. n;
     min_s = Array.fold_left min infinity times;
+    samples_s = times;
     pool_stats = Rpb_pool.Pool.Stats.diff ~before ~after;
   }

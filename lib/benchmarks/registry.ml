@@ -41,7 +41,8 @@ let access_distribution () =
 (* Prepare, warm up, and measure one (benchmark, input, mode) combination,
    returning the typed record the JSON emitters consume plus the input-size
    string for the human tables. *)
-let measure_entry pool ~(entry : Common.entry) ~input ~scale ~repeats ~how =
+let measure_entry ?(smoke = false) pool ~(entry : Common.entry) ~input ~scale
+    ~repeats ~how =
   Rpb_pool.Pool.run pool (fun () ->
       let prepared = entry.Common.prepare pool ~input ~scale in
       let run =
@@ -63,6 +64,8 @@ let measure_entry pool ~(entry : Common.entry) ~input ~scale ~repeats ~how =
           repeats;
           mean_ns = m.Common.mean_s *. 1e9;
           min_ns = m.Common.min_s *. 1e9;
+          samples_ns = Array.map (fun s -> s *. 1e9) m.Common.samples_s;
+          smoke;
           verified = ok;
           workers = Bench_json.workers_of_pool_stats m.Common.pool_stats;
         }

@@ -18,6 +18,7 @@ val benchmarks_with : Pattern.access -> string list
 (** Which benchmarks use a pattern — Table 1 column. *)
 
 val measure_entry :
+  ?smoke:bool ->
   Rpb_pool.Pool.t ->
   entry:Common.entry ->
   input:string ->
@@ -26,5 +27,8 @@ val measure_entry :
   how:[ `Seq | `Par of Mode.t ] ->
   Bench_json.record * string
 (** Prepare, warm up, time and verify one benchmark configuration inside
-    [Pool.run], capturing per-worker scheduler counters across the repeats.
-    Returns the machine-readable record and the input-size description. *)
+    [Pool.run], capturing per-worker scheduler counters and the per-repeat
+    sample vector across the repeats.  Returns the machine-readable record
+    and the input-size description.  [smoke] (default [false]) marks the
+    record as a one-shot smoke run, which [rpb compare] excludes from the
+    perf trajectory. *)

@@ -1,0 +1,306 @@
+(* Committed perf baselines and noise-aware regression comparison.
+
+   The store is a directory (bench/baselines/ in the repo) of standard
+   Bench_json documents, one file per benchmark, each holding that
+   benchmark's records across every measured (input, mode, threads, scale)
+   configuration.  `rpb bench --save-baseline` merges fresh records into the
+   store key-by-key; `rpb compare OLD NEW` classifies each shared key as
+   improved / unchanged / regressed.
+
+   The classifier is deliberately conservative on a noisy shared container:
+   a configuration is only flagged when BOTH
+     (a) the relative change in the robust point estimate (median of the
+         per-repeat samples; mean for pre-v3 records without samples)
+         exceeds the tolerance band — the band is the flat threshold
+         widened by the measured per-repeat noise (MAD, in sigma units) of
+         the two sample sets; and
+     (b) a permutation test over the two raw sample vectors finds the shift
+         significant (skipped, and treated as significant, when either side
+         predates v3 and has no samples).
+   Two runs of the same binary therefore compare as unchanged unless the
+   timing distributions genuinely separated. *)
+
+module J = Rpb_benchmarks.Bench_json
+
+type key = {
+  bench : string;
+  input : string;
+  mode : string;
+  threads : int;
+  scale : int;
+}
+
+let key_of_record (r : J.record) =
+  {
+    bench = r.J.bench;
+    input = r.J.input;
+    mode = r.J.mode;
+    threads = r.J.threads;
+    scale = r.J.scale;
+  }
+
+let key_to_string k =
+  Printf.sprintf "%s/%s mode=%s t=%d s=%d" k.bench k.input k.mode k.threads
+    k.scale
+
+(* ---------- the store ---------- *)
+
+let is_json_file name =
+  String.length name > 5 && Filename.check_suffix name ".json"
+
+let load_dir dir =
+  Sys.readdir dir |> Array.to_list |> List.sort compare
+  |> List.filter is_json_file
+  |> List.concat_map (fun name -> J.read_doc (Filename.concat dir name))
+
+let load path =
+  if Sys.is_directory path then load_dir path else J.read_doc path
+
+let save ~dir records =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let fresh = List.filter (fun (r : J.record) -> not r.J.smoke) records in
+  let by_bench = Hashtbl.create 16 in
+  List.iter
+    (fun (r : J.record) ->
+      Hashtbl.replace by_bench r.J.bench
+        (r :: (Option.value ~default:[] (Hashtbl.find_opt by_bench r.J.bench))))
+    (List.rev fresh);
+  Hashtbl.fold (fun bench rs acc -> (bench, rs) :: acc) by_bench []
+  |> List.sort compare
+  |> List.map (fun (bench, rs) ->
+         let path = Filename.concat dir (bench ^ ".json") in
+         let existing = if Sys.file_exists path then J.read_doc path else [] in
+         let fresh_keys = List.map key_of_record rs in
+         let kept =
+           List.filter
+             (fun old -> not (List.mem (key_of_record old) fresh_keys))
+             existing
+         in
+         J.write_doc ~path
+           ~meta:
+             [
+               ("generator", J.Str "rpb-baseline");
+               ("bench", J.Str bench);
+             ]
+           (kept @ rs);
+         path)
+
+(* ---------- comparison ---------- *)
+
+type verdict = Improved | Unchanged | Regressed
+
+let verdict_name = function
+  | Improved -> "improved"
+  | Unchanged -> "unchanged"
+  | Regressed -> "regressed"
+
+type comparison = {
+  c_key : key;
+  c_baseline : J.record;
+  c_current : J.record;
+  old_est_ns : float;
+  new_est_ns : float;
+  delta : float;  (* (new - old) / old *)
+  band : float;  (* tolerance band the delta is judged against *)
+  p_value : float option;  (* permutation p-value, when both sides sampled *)
+  verdict : verdict;
+}
+
+type report = {
+  threshold : float;
+  alpha : float;
+  noise_mult : float;
+  comparisons : comparison list;
+  only_baseline : key list;
+  only_current : key list;
+  smoke_skipped : int;
+}
+
+(* Robust point estimate of one record: median of the per-repeat samples,
+   falling back to the stored mean for pre-v3 records. *)
+let estimate_ns (r : J.record) =
+  if Array.length r.J.samples_ns >= 1 then Stats.median r.J.samples_ns
+  else r.J.mean_ns
+
+(* Per-repeat noise in sigma units; 0 with fewer than 3 samples (the MAD of
+   1–2 points is meaningless and must not shrink or grow the band). *)
+let sigma_ns (r : J.record) =
+  if Array.length r.J.samples_ns >= 3 then Stats.mad_sigma r.J.samples_ns
+  else 0.0
+
+(* Only test when both sides carry enough samples for the permutation
+   distribution to have any resolution. *)
+let min_samples_for_test = 3
+
+let compare_one ~threshold ~alpha ~noise_mult ~seed (old_r : J.record)
+    (new_r : J.record) =
+  let old_est = estimate_ns old_r and new_est = estimate_ns new_r in
+  let delta =
+    if old_est > 0.0 then (new_est -. old_est) /. old_est else 0.0
+  in
+  let band =
+    if old_est > 0.0 then
+      Float.max threshold
+        (noise_mult *. (sigma_ns old_r +. sigma_ns new_r) /. old_est)
+    else threshold
+  in
+  let p_value =
+    if
+      Array.length old_r.J.samples_ns >= min_samples_for_test
+      && Array.length new_r.J.samples_ns >= min_samples_for_test
+    then
+      Some
+        (Stats.permutation_test ~seed old_r.J.samples_ns new_r.J.samples_ns)
+    else None
+  in
+  let significant =
+    match p_value with Some p -> p < alpha | None -> true
+  in
+  let verdict =
+    if delta > band && significant then Regressed
+    else if delta < -.band && significant then Improved
+    else Unchanged
+  in
+  {
+    c_key = key_of_record old_r;
+    c_baseline = old_r;
+    c_current = new_r;
+    old_est_ns = old_est;
+    new_est_ns = new_est;
+    delta;
+    band;
+    p_value;
+    verdict;
+  }
+
+let compare_records ?(threshold = 0.10) ?(alpha = 0.05) ?(noise_mult = 3.0)
+    ?(seed = 42) ~baseline ~current () =
+  let live rs = List.filter (fun (r : J.record) -> not r.J.smoke) rs in
+  let smoke_skipped =
+    List.length baseline + List.length current
+    - (List.length (live baseline) + List.length (live current))
+  in
+  (* Last record wins per key, so a document appending a re-run supersedes
+     the earlier record, matching the store's merge rule. *)
+  let index rs =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace tbl (key_of_record r) r) (live rs);
+    tbl
+  in
+  let old_tbl = index baseline and new_tbl = index current in
+  let keys_of tbl =
+    Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare
+  in
+  let comparisons =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt new_tbl k with
+        | Some new_r ->
+          Some
+            (compare_one ~threshold ~alpha ~noise_mult ~seed
+               (Hashtbl.find old_tbl k) new_r)
+        | None -> None)
+      (keys_of old_tbl)
+  in
+  {
+    threshold;
+    alpha;
+    noise_mult;
+    comparisons;
+    only_baseline =
+      List.filter (fun k -> not (Hashtbl.mem new_tbl k)) (keys_of old_tbl);
+    only_current =
+      List.filter (fun k -> not (Hashtbl.mem old_tbl k)) (keys_of new_tbl);
+    smoke_skipped;
+  }
+
+let regressions r =
+  List.filter (fun c -> c.verdict = Regressed) r.comparisons
+
+let improvements r =
+  List.filter (fun c -> c.verdict = Improved) r.comparisons
+
+let ok r = regressions r = []
+
+(* ---------- rendering ---------- *)
+
+let summary r =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf
+    "compare: %d shared configurations (threshold %.1f%%, alpha %.2f, noise \
+     band %gx MAD-sigma)\n"
+    (List.length r.comparisons)
+    (100.0 *. r.threshold) r.alpha r.noise_mult;
+  if r.smoke_skipped > 0 then
+    pf "  %d smoke record(s) excluded from the trajectory\n" r.smoke_skipped;
+  pf "  %-34s %12s %12s %8s %8s %8s  %s\n" "configuration" "old" "new" "delta"
+    "band" "p" "verdict";
+  List.iter
+    (fun c ->
+      pf "  %-34s %10.3fms %10.3fms %+7.1f%% %7.1f%% %8s  %s\n"
+        (key_to_string c.c_key) (c.old_est_ns /. 1e6) (c.new_est_ns /. 1e6)
+        (100.0 *. c.delta) (100.0 *. c.band)
+        (match c.p_value with
+         | Some p -> Printf.sprintf "%.3f" p
+         | None -> "-")
+        (verdict_name c.verdict))
+    r.comparisons;
+  List.iter
+    (fun k -> pf "  only in baseline: %s\n" (key_to_string k))
+    r.only_baseline;
+  List.iter
+    (fun k -> pf "  new (no baseline): %s\n" (key_to_string k))
+    r.only_current;
+  let n_reg = List.length (regressions r)
+  and n_imp = List.length (improvements r) in
+  pf "verdict: %d regressed, %d improved, %d unchanged — %s\n" n_reg n_imp
+    (List.length r.comparisons - n_reg - n_imp)
+    (if ok r then "OK" else "REGRESSION");
+  Buffer.contents b
+
+let key_to_json k =
+  J.Obj
+    [
+      ("bench", J.Str k.bench);
+      ("input", J.Str k.input);
+      ("mode", J.Str k.mode);
+      ("threads", J.Int k.threads);
+      ("scale", J.Int k.scale);
+    ]
+
+let comparison_to_json c =
+  J.Obj
+    [
+      ("key", key_to_json c.c_key);
+      ("old_est_ns", J.Float c.old_est_ns);
+      ("new_est_ns", J.Float c.new_est_ns);
+      ("delta", J.Float c.delta);
+      ("band", J.Float c.band);
+      ( "p_value",
+        match c.p_value with None -> J.Null | Some p -> J.Float p );
+      ("verdict", J.Str (verdict_name c.verdict));
+    ]
+
+let to_json r =
+  J.Obj
+    [
+      ("schema_version", J.Int J.schema_version);
+      ("kind", J.Str "compare");
+      ("threshold", J.Float r.threshold);
+      ("alpha", J.Float r.alpha);
+      ("noise_mult", J.Float r.noise_mult);
+      ("ok", J.Bool (ok r));
+      ("smoke_skipped", J.Int r.smoke_skipped);
+      ("comparisons", J.List (List.map comparison_to_json r.comparisons));
+      ("only_baseline", J.List (List.map key_to_json r.only_baseline));
+      ("only_current", J.List (List.map key_to_json r.only_current));
+    ]
+
+let write_json ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json r));
+      output_char oc '\n')

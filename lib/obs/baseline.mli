@@ -1,0 +1,107 @@
+(** Committed perf baselines and noise-aware regression comparison.
+
+    The store behind [rpb bench --save-baseline] and [rpb compare]: a
+    directory of standard [Bench_json] documents (the repo commits
+    [bench/baselines/]), one file per benchmark, merged key-by-key on save.
+    Comparison classifies every configuration shared between a baseline and
+    a fresh run as improved / unchanged / regressed, flagging a change only
+    when the relative shift of the robust point estimate clears a
+    noise-widened tolerance band {e and} a permutation test over the raw
+    per-repeat samples finds the shift significant. *)
+
+type key = {
+  bench : string;
+  input : string;
+  mode : string;
+  threads : int;
+  scale : int;
+}
+(** The identity of one measured configuration — the unit of comparison. *)
+
+val key_of_record : Rpb_benchmarks.Bench_json.record -> key
+val key_to_string : key -> string
+
+(** {1 The store} *)
+
+val save : dir:string -> Rpb_benchmarks.Bench_json.record list -> string list
+(** Merge records into the baseline directory (created if missing), one
+    [BENCH.json] document per benchmark: records whose {!key} matches an
+    incoming record are replaced, others kept.  Smoke records are dropped.
+    Returns the written file paths, sorted. *)
+
+val load_dir : string -> Rpb_benchmarks.Bench_json.record list
+(** All records of every [*.json] document directly under the directory, in
+    filename order. *)
+
+val load : string -> Rpb_benchmarks.Bench_json.record list
+(** [load path] — {!load_dir} when [path] is a directory, otherwise
+    [Bench_json.read_doc]. *)
+
+(** {1 Comparison} *)
+
+val estimate_ns : Rpb_benchmarks.Bench_json.record -> float
+(** The robust point estimate a record is judged by: median of its
+    per-repeat samples, falling back to the stored mean for pre-v3 records
+    without samples. *)
+
+type verdict = Improved | Unchanged | Regressed
+
+val verdict_name : verdict -> string
+
+type comparison = {
+  c_key : key;
+  c_baseline : Rpb_benchmarks.Bench_json.record;
+  c_current : Rpb_benchmarks.Bench_json.record;
+  old_est_ns : float;  (** median of samples; mean for pre-v3 records *)
+  new_est_ns : float;
+  delta : float;  (** [(new - old) / old] *)
+  band : float;
+      (** the tolerance the delta was judged against:
+          [max threshold (noise_mult * (sigma_old + sigma_new) / old)] with
+          sigma the MAD in sigma units (0 under 3 samples) *)
+  p_value : float option;
+      (** permutation-test p-value over the two sample vectors; [None] when
+          either side has fewer than 3 samples (the band then decides
+          alone) *)
+  verdict : verdict;
+}
+
+type report = {
+  threshold : float;
+  alpha : float;
+  noise_mult : float;
+  comparisons : comparison list;  (** shared keys, sorted *)
+  only_baseline : key list;  (** configurations that disappeared *)
+  only_current : key list;  (** configurations without a baseline yet *)
+  smoke_skipped : int;  (** smoke-flagged records excluded from both sides *)
+}
+
+val compare_records :
+  ?threshold:float ->
+  ?alpha:float ->
+  ?noise_mult:float ->
+  ?seed:int ->
+  baseline:Rpb_benchmarks.Bench_json.record list ->
+  current:Rpb_benchmarks.Bench_json.record list ->
+  unit ->
+  report
+(** Defaults: [threshold = 0.10] (10% flat band), [alpha = 0.05],
+    [noise_mult = 3.0], [seed = 42] (the permutation test is deterministic
+    in it).  Duplicate keys within one side: the last record wins.  A
+    verdict other than [Unchanged] requires both the band and the
+    significance test to agree, so two runs of the same binary classify as
+    unchanged at the default threshold. *)
+
+val regressions : report -> comparison list
+val improvements : report -> comparison list
+
+val ok : report -> bool
+(** No regressions (the CI perf-gate predicate). *)
+
+val summary : report -> string
+(** Human-readable table, one line per shared configuration. *)
+
+val to_json : report -> Rpb_benchmarks.Bench_json.json
+(** The [kind = "compare"] document CI archives next to the report. *)
+
+val write_json : path:string -> report -> unit

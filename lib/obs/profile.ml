@@ -249,6 +249,8 @@ let record_of_report r =
     repeats = 1;
     mean_ns = r.elapsed_ns;
     min_ns = r.elapsed_ns;
+    samples_ns = [| r.elapsed_ns |];
+    smoke = false;
     verified = r.verified;
     workers = r.workers;
   }

@@ -1,0 +1,87 @@
+(** The unified [rpb report] dashboard.
+
+    Merges every machine-readable artifact the harness emits — [BENCH_*.json]
+    benchmark documents (schema v1..v3), [PROFILE_*.json] work/span reports,
+    [CHECK_*.json] differential-oracle reports, [FAULT_*.json] fault sweeps
+    and [rpb compare] documents — into one self-contained HTML page (inline
+    CSS and SVG, light/dark from one set of custom properties) or a markdown
+    digest suitable for a CI job summary.
+
+    The HTML carries Fig. 4-style speedup curves (measured, plus the
+    burdened-DAG prediction from profiles), the Fig. 5-style fear-spectrum
+    overhead table (checked/unsafe and sync/unsafe ratios), per-benchmark
+    work/span/parallelism from {!Sp_dag}, correctness and fault verdict
+    tiles, and the baseline-comparison trajectory. *)
+
+type source = { path : string; kind : string }
+(** One input file and the document kind it classified as:
+    ["bench" | "profile" | "check" | "fault" | "compare"]. *)
+
+type artifacts = {
+  bench : Rpb_benchmarks.Bench_json.record list;
+  profiles : Profile.report list;
+  checks : Rpb_benchmarks.Bench_json.json list;
+  faults : Rpb_benchmarks.Bench_json.json list;
+  compares : Rpb_benchmarks.Bench_json.json list;
+  sources : source list;
+  errors : (string * string) list;
+      (** files skipped as unreadable/unparseable: [(path, message)] *)
+}
+
+val empty : artifacts
+
+val classify_doc : Rpb_benchmarks.Bench_json.json -> string
+(** The document's ["kind"] member; ["bench"] when absent (plain benchmark
+    documents predate the kind tag). *)
+
+val add_file : artifacts -> string -> artifacts
+(** Parse and classify one file.  I/O and parse failures land in
+    {!artifacts.errors} instead of raising, so one bad artifact never sinks
+    the report. *)
+
+val load_files : string list -> artifacts
+(** {!add_file} over the list, preserving order. *)
+
+(** {1 Derived views} (exposed for tests) *)
+
+type curve = {
+  curve_bench : string;
+  curve_input : string;
+  curve_mode : string;
+  curve_scale : int;
+  base_ns : float;
+  base_label : string;  (** ["seq"] or ["1t"] — what the speedup is against *)
+  points : (int * float * float) list;
+      (** (threads, time ns, speedup), ascending threads *)
+}
+
+val speedup_curves : Rpb_benchmarks.Bench_json.record list -> curve list
+(** Every non-smoke (bench, input, mode, scale) group measured at two or
+    more thread counts, against the matching sequential record when one
+    exists.  Duplicate thread counts: last record wins. *)
+
+type overhead = {
+  o_bench : string;
+  o_input : string;
+  o_threads : int;
+  o_scale : int;
+  o_vs : string;  (** ["checked"] or ["sync"] *)
+  o_unsafe_ns : float;
+  o_other_ns : float;
+  o_ratio : float;  (** other / unsafe; 1.0 = the safety was free *)
+}
+
+val overheads : Rpb_benchmarks.Bench_json.record list -> overhead list
+(** Fear-spectrum ratios for every configuration measured both under
+    ["unsafe"] and under ["checked"]/["sync"]. *)
+
+(** {1 Rendering} *)
+
+val to_html : artifacts -> string
+(** The full self-contained dashboard. *)
+
+val to_markdown : artifacts -> string
+(** The digest: summary line plus speedup / overhead / work-span / verdict
+    tables. *)
+
+val write_html : path:string -> artifacts -> unit

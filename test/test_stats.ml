@@ -1,0 +1,470 @@
+(* Tests for the statistics layer behind `rpb compare` (Rpb_obs.Stats), the
+   baseline store and noise-aware regression classifier (Rpb_obs.Baseline),
+   and the report's derived views (Rpb_obs.Report).
+
+   The estimators are checked against hand-computed answers, the resampling
+   procedures against known distributions AND for seeded determinism, and
+   the classifier against the property the CI perf-gate relies on: two runs
+   of the same binary compare clean while a genuine slowdown is flagged. *)
+
+module J = Rpb_benchmarks.Bench_json
+module Stats = Rpb_obs.Stats
+module Baseline = Rpb_obs.Baseline
+module Report = Rpb_obs.Report
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+(* ---------- Stats: point estimators, hand-computed ---------- *)
+
+let test_median_known () =
+  check_float "odd length" 3.0 (Stats.median [| 5.0; 1.0; 3.0; 2.0; 4.0 |]);
+  check_float "even length midpoint" 2.5 (Stats.median [| 4.0; 1.0; 3.0; 2.0 |]);
+  check_float "singleton" 7.0 (Stats.median [| 7.0 |]);
+  check_float "mean" 3.0 (Stats.mean [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "minimum" 1.0 (Stats.minimum [| 3.0; 1.0; 2.0 |]);
+  check_float "maximum" 3.0 (Stats.maximum [| 3.0; 1.0; 2.0 |]);
+  (* input must not be mutated by the sorting estimators *)
+  let a = [| 5.0; 1.0; 3.0 |] in
+  ignore (Stats.median a);
+  Alcotest.(check (array (float 0.0))) "median leaves input untouched"
+    [| 5.0; 1.0; 3.0 |] a
+
+let test_mad_known () =
+  (* deviations from median 3: [2;1;0;1;2], median deviation 1 *)
+  check_float "mad" 1.0 (Stats.mad [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "mad_sigma scales by 1.4826" Stats.mad_sigma_scale
+    (Stats.mad_sigma [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check_float "constant data has zero spread" 0.0
+    (Stats.mad [| 4.0; 4.0; 4.0 |])
+
+let test_quantile_known () =
+  let s = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "q0 = min" 10.0 (Stats.quantile_sorted s 0.0);
+  check_float "q1 = max" 40.0 (Stats.quantile_sorted s 1.0);
+  (* type-7: h = (n-1)q = 1.5 -> 20 + 0.5*(30-20) *)
+  check_float "median interpolates" 25.0 (Stats.quantile_sorted s 0.5);
+  check_float "q0.25" 17.5 (Stats.quantile_sorted s 0.25)
+
+(* ---------- Stats: bootstrap CI ---------- *)
+
+let test_bootstrap_ci () =
+  let rng = Rpb_prim.Rng.create 7 in
+  let a =
+    Array.init 50 (fun _ -> 100.0 +. Rpb_prim.Rng.float rng 10.0)
+  in
+  let lo, hi = Stats.bootstrap_ci ~seed:11 a in
+  let m = Stats.median a in
+  Alcotest.(check bool) "CI brackets the sample median" true
+    (lo <= m && m <= hi);
+  Alcotest.(check bool) "CI sits inside the data range" true
+    (lo >= 100.0 && hi <= 110.0);
+  let lo', hi' = Stats.bootstrap_ci ~seed:11 a in
+  check_float "same seed, same lower bound" lo lo';
+  check_float "same seed, same upper bound" hi hi';
+  let lo2, hi2 = Stats.bootstrap_ci ~seed:12 a in
+  Alcotest.(check bool) "different seed resamples differently" true
+    (lo2 <> lo || hi2 <> hi);
+  (* a degenerate sample has a degenerate interval *)
+  let lo3, hi3 = Stats.bootstrap_ci ~seed:1 [| 5.0; 5.0; 5.0; 5.0 |] in
+  check_float "degenerate lo" 5.0 lo3;
+  check_float "degenerate hi" 5.0 hi3
+
+(* ---------- Stats: permutation test ---------- *)
+
+let test_permutation_known () =
+  (* identical samples: every permuted statistic ties the observed 0, so the
+     add-one p-value is exactly 1 *)
+  let a = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "identical samples, p = 1" 1.0
+    (Stats.permutation_test ~seed:3 a (Array.copy a));
+  (* fully separated samples: the observed mean shift is strictly maximal
+     over all labellings (up to the mirror image), so only the two extreme
+     splits count as hits *)
+  let b = Array.map (fun x -> x +. 100.0) a in
+  Alcotest.(check bool) "separated samples are significant" true
+    (Stats.permutation_test ~seed:3 ~rounds:2000 a b < 0.05);
+  (* two draws from one distribution: not significant *)
+  let rng = Rpb_prim.Rng.create 21 in
+  let x = Array.init 12 (fun _ -> Rpb_prim.Rng.float rng 1.0) in
+  let y = Array.init 12 (fun _ -> Rpb_prim.Rng.float rng 1.0) in
+  Alcotest.(check bool) "same-distribution draws stay insignificant" true
+    (Stats.permutation_test ~seed:3 x y > 0.05)
+
+let test_permutation_deterministic () =
+  let rng = Rpb_prim.Rng.create 5 in
+  let a = Array.init 10 (fun _ -> Rpb_prim.Rng.float rng 1.0) in
+  let b = Array.init 10 (fun _ -> 0.3 +. Rpb_prim.Rng.float rng 1.0) in
+  let p1 = Stats.permutation_test ~seed:9 a b in
+  let p2 = Stats.permutation_test ~seed:9 a b in
+  check_float "same seed, same p" p1 p2;
+  (* add-one correction keeps p strictly positive *)
+  Alcotest.(check bool) "p never reaches 0" true (p1 > 0.0)
+
+let test_mann_whitney () =
+  let u, p = Stats.mann_whitney [| 1.0; 2.0; 3.0 |] [| 4.0; 5.0; 6.0 |] in
+  check_float "disjoint samples, U = 0" 0.0 u;
+  Alcotest.(check bool) "disjoint samples lean significant" true (p < 0.2);
+  let _, p_tied = Stats.mann_whitney [| 2.0; 2.0 |] [| 2.0; 2.0 |] in
+  check_float "all-tied samples, p = 1" 1.0 p_tied;
+  (* symmetry: the two-sided U = min(U_a, n1*n2 - U_a) is invariant under
+     swapping the samples *)
+  let u', p' = Stats.mann_whitney [| 4.0; 5.0; 6.0 |] [| 1.0; 2.0; 3.0 |] in
+  check_float "swapped samples, same two-sided U" 0.0 u';
+  check_float "same p both directions" p p'
+
+let test_normal_sf () =
+  check_float "sf(0) = 1/2" 0.5 (Stats.normal_sf 0.0);
+  Alcotest.(check (float 2e-3)) "sf(1.96) ~ 0.025" 0.025
+    (Stats.normal_sf 1.96);
+  Alcotest.(check (float 1e-6)) "sf(-z) + sf(z) = 1" 1.0
+    (Stats.normal_sf (-1.3) +. Stats.normal_sf 1.3)
+
+(* ---------- Baseline: classification ---------- *)
+
+let mk ?(bench = "sort") ?(input = "exponential") ?(mode = "unsafe")
+    ?(threads = 4) ?(scale = 0) ?(smoke = false) ?(samples = [||])
+    ?(mean = 1e6) () =
+  {
+    J.bench;
+    input;
+    mode;
+    scale;
+    threads;
+    repeats = max 1 (Array.length samples);
+    mean_ns = mean;
+    min_ns = mean;
+    samples_ns = samples;
+    smoke;
+    verified = true;
+    workers = [];
+  }
+
+(* tight per-repeat samples around 1ms *)
+let tight = [| 1.00e6; 1.01e6; 0.99e6; 1.02e6; 0.98e6 |]
+
+let test_estimate_ns () =
+  check_float "median of samples wins over the stored mean" 1.00e6
+    (Baseline.estimate_ns (mk ~samples:tight ~mean:9.9e9 ()));
+  check_float "pre-v3 records fall back to the mean" 4.2e6
+    (Baseline.estimate_ns (mk ~mean:4.2e6 ()))
+
+let test_compare_same_binary_clean () =
+  (* the perf-gate property: re-measuring the same binary (same
+     distribution, slightly different draws) must not flag anything *)
+  let old_r = mk ~samples:tight () in
+  let new_r =
+    mk ~samples:[| 1.01e6; 0.99e6; 1.00e6; 0.98e6; 1.03e6 |] ()
+  in
+  let r =
+    Baseline.compare_records ~baseline:[ old_r ] ~current:[ new_r ] ()
+  in
+  Alcotest.(check int) "one shared configuration" 1
+    (List.length r.Baseline.comparisons);
+  let c = List.hd r.Baseline.comparisons in
+  Alcotest.(check string) "verdict unchanged" "unchanged"
+    (Baseline.verdict_name c.Baseline.verdict);
+  Alcotest.(check bool) "gate passes" true (Baseline.ok r)
+
+let test_compare_flags_slowdown () =
+  let old_r = mk ~samples:tight () in
+  let new_r = mk ~samples:(Array.map (fun s -> s *. 2.0) tight) () in
+  let r =
+    Baseline.compare_records ~baseline:[ old_r ] ~current:[ new_r ] ()
+  in
+  let c = List.hd r.Baseline.comparisons in
+  Alcotest.(check string) "2x slowdown regresses" "regressed"
+    (Baseline.verdict_name c.Baseline.verdict);
+  Alcotest.(check bool) "delta ~ +100%" true
+    (c.Baseline.delta > 0.9 && c.Baseline.delta < 1.1);
+  Alcotest.(check bool) "permutation test ran and agreed" true
+    (match c.Baseline.p_value with Some p -> p < 0.05 | None -> false);
+  Alcotest.(check bool) "gate fails" false (Baseline.ok r);
+  Alcotest.(check int) "listed as a regression" 1
+    (List.length (Baseline.regressions r))
+
+let test_compare_flags_improvement () =
+  let old_r = mk ~samples:tight () in
+  let new_r = mk ~samples:(Array.map (fun s -> s *. 0.5) tight) () in
+  let r =
+    Baseline.compare_records ~baseline:[ old_r ] ~current:[ new_r ] ()
+  in
+  let c = List.hd r.Baseline.comparisons in
+  Alcotest.(check string) "2x speedup improves" "improved"
+    (Baseline.verdict_name c.Baseline.verdict);
+  Alcotest.(check bool) "improvements never fail the gate" true
+    (Baseline.ok r)
+
+let test_compare_noise_widens_band () =
+  (* a 15% median shift on wildly dispersed samples must NOT be flagged:
+     the MAD-widened band swallows it *)
+  let noisy = [| 0.5e6; 1.5e6; 1.0e6; 2.0e6; 0.8e6 |] in
+  let old_r = mk ~samples:noisy () in
+  let new_r = mk ~samples:(Array.map (fun s -> s *. 1.15) noisy) () in
+  let r =
+    Baseline.compare_records ~baseline:[ old_r ] ~current:[ new_r ] ()
+  in
+  let c = List.hd r.Baseline.comparisons in
+  Alcotest.(check bool) "delta clears the flat threshold" true
+    (c.Baseline.delta > 0.10);
+  Alcotest.(check bool) "band widened past the delta" true
+    (c.Baseline.band > c.Baseline.delta);
+  Alcotest.(check string) "still unchanged" "unchanged"
+    (Baseline.verdict_name c.Baseline.verdict)
+
+let test_compare_pre_v3_band_only () =
+  (* sample-less records: the band alone decides, p_value is None *)
+  let old_r = mk ~mean:1.0e6 () in
+  let new_r = mk ~mean:2.5e6 () in
+  let r =
+    Baseline.compare_records ~baseline:[ old_r ] ~current:[ new_r ] ()
+  in
+  let c = List.hd r.Baseline.comparisons in
+  Alcotest.(check bool) "no permutation test without samples" true
+    (c.Baseline.p_value = None);
+  Alcotest.(check string) "band alone flags 2.5x" "regressed"
+    (Baseline.verdict_name c.Baseline.verdict)
+
+let test_compare_smoke_and_coverage () =
+  let old_rs =
+    [ mk ~samples:tight (); mk ~bench:"bw" ~samples:tight () ]
+  in
+  let new_rs =
+    [
+      mk ~samples:tight ();
+      mk ~bench:"hist" ~samples:tight ();
+      mk ~bench:"lrs" ~smoke:true ~samples:tight ();
+    ]
+  in
+  let r = Baseline.compare_records ~baseline:old_rs ~current:new_rs () in
+  Alcotest.(check int) "only the shared key is compared" 1
+    (List.length r.Baseline.comparisons);
+  Alcotest.(check int) "smoke records are excluded" 1 r.Baseline.smoke_skipped;
+  Alcotest.(check (list string)) "disappeared configurations are reported"
+    [ "bw" ]
+    (List.map (fun k -> k.Baseline.bench) r.Baseline.only_baseline);
+  Alcotest.(check (list string)) "new configurations are reported"
+    [ "hist" ]
+    (List.map (fun k -> k.Baseline.bench) r.Baseline.only_current)
+
+let test_compare_deterministic () =
+  let rng = Rpb_prim.Rng.create 33 in
+  let old_r =
+    mk ~samples:(Array.init 7 (fun _ -> 1e6 +. Rpb_prim.Rng.float rng 2e5)) ()
+  in
+  let new_r =
+    mk ~samples:(Array.init 7 (fun _ -> 1.2e6 +. Rpb_prim.Rng.float rng 2e5)) ()
+  in
+  let run () =
+    let r =
+      Baseline.compare_records ~seed:4 ~baseline:[ old_r ]
+        ~current:[ new_r ] ()
+    in
+    (List.hd r.Baseline.comparisons).Baseline.p_value
+  in
+  Alcotest.(check bool) "seeded comparison is reproducible" true
+    (run () = run ())
+
+(* ---------- Baseline: the store ---------- *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rpb_baseline_%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let test_store_round_trip () =
+  with_temp_dir (fun dir ->
+      let r1 = mk ~samples:tight () in
+      let r2 = mk ~bench:"bw" ~mode:"checked" ~samples:tight () in
+      let smoke = mk ~bench:"bw" ~smoke:true () in
+      let paths = Baseline.save ~dir [ r1; r2; smoke ] in
+      Alcotest.(check int) "one file per benchmark" 2 (List.length paths);
+      let loaded = Baseline.load dir in
+      Alcotest.(check int) "smoke records never enter the store" 2
+        (List.length loaded);
+      let keys = List.map Baseline.key_of_record loaded in
+      Alcotest.(check bool) "both keys round-trip" true
+        (List.mem (Baseline.key_of_record r1) keys
+         && List.mem (Baseline.key_of_record r2) keys);
+      (* merging an updated record replaces, never duplicates *)
+      let r1' = mk ~samples:(Array.map (fun s -> s *. 3.0) tight) () in
+      ignore (Baseline.save ~dir [ r1' ]);
+      let merged = Baseline.load dir in
+      Alcotest.(check int) "still one record per key" 2 (List.length merged);
+      let updated =
+        List.find
+          (fun r -> Baseline.key_of_record r = Baseline.key_of_record r1)
+          merged
+      in
+      check_float "the record was replaced" 3.0e6
+        (Baseline.estimate_ns updated))
+
+let test_compare_json_round_trip () =
+  let r =
+    Baseline.compare_records ~baseline:[ mk ~samples:tight () ]
+      ~current:[ mk ~samples:(Array.map (fun s -> s *. 2.0) tight) () ]
+      ()
+  in
+  let j = Baseline.to_json r in
+  Alcotest.(check string) "kind tags the document" "compare"
+    (J.get_str (J.member "kind" j));
+  Alcotest.(check bool) "ok mirrors the gate" false
+    (J.get_bool (J.member "ok" j));
+  (* and the document survives a print/parse cycle *)
+  let j' = J.of_string (J.to_string j) in
+  Alcotest.(check int) "comparisons survive the round-trip" 1
+    (List.length (J.get_list (J.member "comparisons" j')))
+
+(* ---------- Report: derived views ---------- *)
+
+let test_report_speedup_curves () =
+  let records =
+    [
+      mk ~mode:"seq" ~threads:1 ~samples:[| 10e6; 10e6; 10e6 |] ();
+      mk ~threads:1 ~samples:[| 10e6; 10e6; 10e6 |] ();
+      mk ~threads:2 ~samples:[| 5e6; 5e6; 5e6 |] ();
+      mk ~threads:4 ~samples:[| 2.5e6; 2.5e6; 2.5e6 |] ();
+      (* a smoke record at another thread count must not join the curve *)
+      mk ~threads:8 ~smoke:true ~samples:[| 1e6 |] ();
+    ]
+  in
+  match Report.speedup_curves records with
+  | [ c ] ->
+    Alcotest.(check string) "baseline is the sequential run" "seq"
+      c.Report.base_label;
+    Alcotest.(check (list int)) "thread axis" [ 1; 2; 4 ]
+      (List.map (fun (t, _, _) -> t) c.Report.points);
+    List.iter2
+      (fun expected (_, _, sp) -> check_float "speedup" expected sp)
+      [ 1.0; 2.0; 4.0 ] c.Report.points
+  | cs ->
+    Alcotest.failf "expected exactly one curve, got %d" (List.length cs)
+
+let test_report_overheads () =
+  let records =
+    [
+      mk ~samples:[| 10e6; 10e6; 10e6 |] ();
+      mk ~mode:"checked" ~samples:[| 12e6; 12e6; 12e6 |] ();
+      mk ~mode:"sync" ~samples:[| 40e6; 40e6; 40e6 |] ();
+      (* different thread count: no pairing *)
+      mk ~mode:"checked" ~threads:2 ~samples:[| 1e6 |] ();
+    ]
+  in
+  let os = Report.overheads records in
+  Alcotest.(check int) "checked and sync pair with unsafe" 2
+    (List.length os);
+  List.iter
+    (fun o ->
+      match o.Report.o_vs with
+      | "checked" -> check_float "checked ratio" 1.2 o.Report.o_ratio
+      | "sync" -> check_float "sync ratio" 4.0 o.Report.o_ratio
+      | other -> Alcotest.failf "unexpected pairing %s" other)
+    os
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let test_report_render () =
+  let a =
+    {
+      Report.empty with
+      Report.bench =
+        [
+          mk ~mode:"seq" ~threads:1 ~samples:[| 10e6 |] ();
+          mk ~threads:1 ~samples:[| 10e6 |] ();
+          mk ~threads:4 ~samples:[| 2.5e6 |] ();
+          mk ~mode:"checked" ~threads:4 ~samples:[| 3e6 |] ();
+        ];
+    }
+  in
+  let html = Report.to_html a in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("html contains " ^ needle) true
+        (contains html needle))
+    [ "<svg"; "Speedup curves"; "Fear-spectrum overhead"; "</html>" ];
+  let md = Report.to_markdown a in
+  Alcotest.(check bool) "markdown carries the overhead ratio" true
+    (contains md "1.20x")
+
+let test_report_classify_and_errors () =
+  Alcotest.(check string) "plain documents classify as bench" "bench"
+    (Report.classify_doc (J.Obj [ ("results", J.List []) ]));
+  Alcotest.(check string) "kind wins" "fault"
+    (Report.classify_doc (J.Obj [ ("kind", J.Str "fault") ]));
+  let a = Report.load_files [ "/nonexistent/artifact.json" ] in
+  Alcotest.(check int) "unreadable files land in errors" 1
+    (List.length a.Report.errors);
+  Alcotest.(check int) "and produce no source" 0 (List.length a.Report.sources)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "estimators",
+        [
+          Alcotest.test_case "median/mean/min/max" `Quick test_median_known;
+          Alcotest.test_case "mad and mad-sigma" `Quick test_mad_known;
+          Alcotest.test_case "type-7 quantiles" `Quick test_quantile_known;
+          Alcotest.test_case "normal survival function" `Quick test_normal_sf;
+        ] );
+      ( "resampling",
+        [
+          Alcotest.test_case "bootstrap CI" `Quick test_bootstrap_ci;
+          Alcotest.test_case "permutation test known answers" `Quick
+            test_permutation_known;
+          Alcotest.test_case "permutation test determinism" `Quick
+            test_permutation_deterministic;
+          Alcotest.test_case "Mann-Whitney" `Quick test_mann_whitney;
+        ] );
+      ( "baseline-compare",
+        [
+          Alcotest.test_case "robust estimate" `Quick test_estimate_ns;
+          Alcotest.test_case "same binary compares clean" `Quick
+            test_compare_same_binary_clean;
+          Alcotest.test_case "2x slowdown is flagged" `Quick
+            test_compare_flags_slowdown;
+          Alcotest.test_case "2x speedup improves" `Quick
+            test_compare_flags_improvement;
+          Alcotest.test_case "noise widens the band" `Quick
+            test_compare_noise_widens_band;
+          Alcotest.test_case "pre-v3 records: band only" `Quick
+            test_compare_pre_v3_band_only;
+          Alcotest.test_case "smoke exclusion and coverage lists" `Quick
+            test_compare_smoke_and_coverage;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_compare_deterministic;
+        ] );
+      ( "baseline-store",
+        [
+          Alcotest.test_case "save/load/merge round-trip" `Quick
+            test_store_round_trip;
+          Alcotest.test_case "compare document round-trip" `Quick
+            test_compare_json_round_trip;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "speedup curves" `Quick
+            test_report_speedup_curves;
+          Alcotest.test_case "fear-spectrum overheads" `Quick
+            test_report_overheads;
+          Alcotest.test_case "html and markdown render" `Quick
+            test_report_render;
+          Alcotest.test_case "classification and error capture" `Quick
+            test_report_classify_and_errors;
+        ] );
+    ]

@@ -77,6 +77,8 @@ let sample_record =
       repeats = 3;
       mean_ns = 1234567.875;
       min_ns = 1200000.0;
+      samples_ns = [| 1234567.875; 1303703.625; 1200000.0 |];
+      smoke = false;
       verified = true;
       workers =
         [
@@ -125,12 +127,12 @@ let test_doc_rejects_wrong_schema_version () =
   | _ -> Alcotest.fail "accepted wrong schema_version"
   | exception Bench_json.Parse_error _ -> ()
 
-let test_doc_emits_v2 () =
-  Alcotest.(check int) "writer version" 2 Bench_json.schema_version;
+let test_doc_emits_v3 () =
+  Alcotest.(check int) "writer version" 3 Bench_json.schema_version;
   let j = Bench_json.doc ~meta:[] [ sample_record ] in
-  Alcotest.(check int) "documents carry schema_version 2" 2
+  Alcotest.(check int) "documents carry schema_version 3" 3
     Bench_json.(get_int (member "schema_version" j));
-  Alcotest.(check bool) "v2 parses" true
+  Alcotest.(check bool) "v3 parses" true
     (Bench_json.records_of_doc j = [ sample_record ])
 
 (* A checked-in schema_version=1 document, as PR 1's writer emitted it —
@@ -151,8 +153,92 @@ let test_v1_document_still_parses () =
     Alcotest.(check int) "threads" 2 r.Bench_json.threads;
     Alcotest.(check int) "worker rows" 1 (List.length r.Bench_json.workers);
     Alcotest.(check int) "worker max_deque_depth" 3
-      (List.hd r.Bench_json.workers).Bench_json.max_deque_depth
+      (List.hd r.Bench_json.workers).Bench_json.max_deque_depth;
+    (* v3 fields default sanely on pre-v3 records. *)
+    Alcotest.(check int) "no sample vector" 0
+      (Array.length r.Bench_json.samples_ns);
+    Alcotest.(check bool) "not a smoke run" false r.Bench_json.smoke
   | _ -> Alcotest.fail "expected exactly one record in the v1 document"
+
+(* A checked-in schema_version=2 document, as PR 4's writer emitted it (the
+   results shape is identical to v1; only the version number moved). *)
+let v2_document =
+  "{\"schema_version\":2,\"meta\":{\"generator\":\"rpb-bench\",\"scale\":0},\
+   \"results\":[{\"bench\":\"hist\",\"input\":\"uniform\",\
+   \"mode\":\"sync\",\"scale\":1,\"threads\":4,\"repeats\":2,\
+   \"mean_ns\":2500000.0,\"min_ns\":2400000.0,\"verified\":true,\
+   \"workers\":[{\"id\":0,\"tasks\":40,\"steals_ok\":2,\"steals_failed\":5,\
+   \"idle\":1,\"max_deque_depth\":4}]}]}"
+
+let test_v2_document_still_parses () =
+  let records = Bench_json.records_of_doc (Bench_json.of_string v2_document) in
+  match records with
+  | [ r ] ->
+    Alcotest.(check string) "bench" "hist" r.Bench_json.bench;
+    Alcotest.(check int) "repeats" 2 r.Bench_json.repeats;
+    Alcotest.(check int) "no sample vector" 0
+      (Array.length r.Bench_json.samples_ns);
+    Alcotest.(check bool) "not a smoke run" false r.Bench_json.smoke
+  | _ -> Alcotest.fail "expected exactly one record in the v2 document"
+
+(* One document holding v1-, v2- and v3-shaped records at once: the reader is
+   keyed on the per-record fields, not the document version, so old records
+   mixed into a v3 document must round-trip with sane defaults. *)
+let test_mixed_version_document () =
+  let v1_shape =
+    (* As PR 1 wrote records: no samples_ns, no smoke. *)
+    "{\"bench\":\"bw\",\"input\":\"wiki\",\"mode\":\"unsafe\",\"scale\":0,\
+     \"threads\":2,\"repeats\":3,\"mean_ns\":1000.0,\"min_ns\":900.0,\
+     \"verified\":true,\"workers\":[]}"
+  in
+  let v2_shape =
+    (* v2 kept the v1 record shape. *)
+    "{\"bench\":\"lrs\",\"input\":\"wiki\",\"mode\":\"checked\",\"scale\":0,\
+     \"threads\":2,\"repeats\":1,\"mean_ns\":2000.0,\"min_ns\":2000.0,\
+     \"verified\":true,\"workers\":[]}"
+  in
+  let v3_shape =
+    "{\"bench\":\"sa\",\"input\":\"wiki\",\"mode\":\"unsafe\",\"scale\":0,\
+     \"threads\":2,\"repeats\":3,\"mean_ns\":3000.0,\"min_ns\":2900.0,\
+     \"samples_ns\":[3100.0,3000.0,2900.0],\"smoke\":true,\
+     \"verified\":true,\"workers\":[]}"
+  in
+  let doc =
+    Printf.sprintf
+      "{\"schema_version\":3,\"meta\":{},\"results\":[%s,%s,%s]}" v1_shape
+      v2_shape v3_shape
+  in
+  let records = Bench_json.records_of_doc (Bench_json.of_string doc) in
+  (match records with
+   | [ r1; r2; r3 ] ->
+     Alcotest.(check int) "v1 record: no samples" 0
+       (Array.length r1.Bench_json.samples_ns);
+     Alcotest.(check bool) "v1 record: not smoke" false r1.Bench_json.smoke;
+     Alcotest.(check int) "v2 record: no samples" 0
+       (Array.length r2.Bench_json.samples_ns);
+     Alcotest.(check bool) "v3 record: smoke flag survives" true
+       r3.Bench_json.smoke;
+     Alcotest.(check int) "v3 record: sample count" 3
+       (Array.length r3.Bench_json.samples_ns);
+     Alcotest.(check (float 1e-9)) "v3 record: first sample" 3100.0
+       r3.Bench_json.samples_ns.(0);
+     (* Round-trip: re-emitting and re-reading preserves everything, with
+        the defaulted fields now explicit. *)
+     let again =
+       Bench_json.records_of_doc
+         (Bench_json.of_string
+            (Bench_json.to_string (Bench_json.doc ~meta:[] records)))
+     in
+     Alcotest.(check bool) "mixed document round-trips" true (again = records)
+   | _ -> Alcotest.fail "expected three records in the mixed document");
+  (* A file round-trip of the same mixed document. *)
+  let path = Filename.temp_file "rpb_mixed" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  Alcotest.(check bool) "file read matches in-memory parse" true
+    (Bench_json.read_doc path = records)
 
 (* ---------- per-run stat capture ---------- *)
 
@@ -249,9 +335,13 @@ let () =
           Alcotest.test_case "doc via file" `Quick test_doc_roundtrip_via_file;
           Alcotest.test_case "schema version check" `Quick
             test_doc_rejects_wrong_schema_version;
-          Alcotest.test_case "writer emits v2" `Quick test_doc_emits_v2;
+          Alcotest.test_case "writer emits v3" `Quick test_doc_emits_v3;
           Alcotest.test_case "v1 back-compat" `Quick
             test_v1_document_still_parses;
+          Alcotest.test_case "v2 back-compat" `Quick
+            test_v2_document_still_parses;
+          Alcotest.test_case "mixed v1/v2/v3 records in one document" `Quick
+            test_mixed_version_document;
         ] );
       ( "capture",
         [
