@@ -1,10 +1,18 @@
-.PHONY: all build test bench examples doc clean check-race check-fault profile-smoke \
-	compare-smoke report-smoke perf-gate save-baseline
+.PHONY: all build typecheck test bench examples doc clean check-race check-fault \
+	profile-smoke compare-smoke report-smoke perf-gate save-baseline \
+	policy-race-smoke
 
 all: build
 
 build:
 	dune build @all
+
+# Warning gate: compiles every module (including tests and executables that
+# the default alias may skip) without linking, so an interface drift — e.g.
+# a Policy signature change missing a consumer — fails fast, before any
+# test matrix spins up.
+typecheck:
+	dune build @check
 
 test:
 	dune runtest
@@ -63,11 +71,28 @@ compare-smoke:
 # against the committed baseline store (bench/baselines/).  The committed
 # baselines come from a different machine class, so the gate runs with a
 # 1.0 (i.e. 2x) flat threshold and only catches gross regressions — the
-# tight same-machine trajectory is compare-smoke's job.  Exit 3 fails CI.
+# tight same-machine trajectory is compare-smoke's job.  The compare's exit
+# status (3 = flagged regression) is captured, the dashboard + markdown
+# digest are built regardless, and the status is re-raised at the end — so
+# a failing gate still ships the report that explains the failure.
 perf-gate:
 	dune exec bin/rpb.exe -- bench all --scale 0 --repeats 5 --threads 4 --seq --json BENCH_gate.json
-	dune exec bin/rpb.exe -- compare bench/baselines BENCH_gate.json --threshold 1.0 --json COMPARE_gate.json
-	dune exec bin/rpb.exe -- report BENCH_gate.json COMPARE_gate.json -o REPORT_perf_gate.html --md REPORT_perf_gate.md
+	status=0; \
+	dune exec bin/rpb.exe -- compare bench/baselines BENCH_gate.json --threshold 1.0 --json COMPARE_gate.json || status=$$?; \
+	dune exec bin/rpb.exe -- report BENCH_gate.json COMPARE_gate.json -o REPORT_perf_gate.html --md REPORT_perf_gate.md; \
+	exit $$status
+
+# CI policy-race job: the named scheduling policies raced head-to-head on
+# one benchmark from each end of the registry's fear spectrum (sort is the
+# mildest — comfortable, RngInd — and sa/hist carry arbitrary writes), at
+# smoke scale.  Emits the per-policy records as one POLICY_*.json artifact
+# plus the dashboard with the winner table.
+policy-race-smoke:
+	dune exec bench/main.exe -- --policy-race --race-benchmarks sort,sa,hist \
+	  --policies default,steal_half,work_first,sticky \
+	  --scale 0 --repeats 3 --json POLICY_race.json
+	dune exec bin/rpb.exe -- report POLICY_race.json -o REPORT_policy_race.html --md REPORT_policy_race.md
+	test -s REPORT_policy_race.md
 
 # Refresh the committed baseline store from this machine (then commit the
 # changed bench/baselines/*.json).

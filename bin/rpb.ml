@@ -22,6 +22,25 @@ let mode_conv =
         | None -> Error (`Msg ("unknown mode " ^ s))),
       fun fmt m -> Format.pp_print_string fmt (Mode.name m) )
 
+let policy_conv =
+  let module Policy = Rpb_pool.Pool.Policy in
+  Arg.conv
+    ( (fun s ->
+        match Policy.find s with
+        | Some p -> Ok p
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown policy %s (have: %s)" s
+                  (String.concat ", " (Policy.names ()))))),
+      fun fmt (p : Policy.t) -> Format.pp_print_string fmt p.Policy.name )
+
+let policy_arg =
+  Arg.(value & opt policy_conv Rpb_pool.Pool.Policy.default
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"named scheduling policy for the work-stealing pool (see `rpb \
+                 list` docs; e.g. default, steal_half, work_first, sticky)")
+
 let run_one ~name ~input ~scale ~threads ~mode ~repeats ~seq =
   match Registry.find name with
   | None ->
@@ -183,6 +202,7 @@ let stats_run ~threads ~tasks ~work ~json ~trace =
          min_ns = elapsed *. 1e9;
          samples_ns = [| elapsed *. 1e9 |];
          smoke = false;
+         policy = Pool.policy_name pool;
          verified = true;
          workers = Bench_json.workers_of_pool_stats s;
        }
@@ -220,8 +240,8 @@ let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(const run $ threads $ tasks $ work $ json $ trace)
 
-let check_run ~seed ~bench ~threads ~scale ~json =
-  match Rpb_check.Oracle.run ?bench ~threads ~scale ~seed () with
+let check_run ~seed ~bench ~threads ~scale ~policy ~json =
+  match Rpb_check.Oracle.run ?bench ~threads ~scale ~policy ~seed () with
   | report ->
     print_string (Rpb_check.Oracle.summary report);
     (match json with
@@ -258,14 +278,17 @@ let check_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"write the machine-readable report")
   in
-  let run seed bench threads scale json =
-    exit (check_run ~seed ~bench ~threads ~scale ~json)
+  let run seed bench threads scale policy json =
+    exit (check_run ~seed ~bench ~threads ~scale ~policy ~json)
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(const run $ seed $ bench $ threads $ scale $ json)
+    Term.(const run $ seed $ bench $ threads $ scale $ policy_arg $ json)
 
-let faults_run ~seed ~bench ~threads ~scale ~deadline ~json =
-  match Rpb_check.Oracle.fault_sweep ?bench ~threads ~scale ~deadline ~seed () with
+let faults_run ~seed ~bench ~threads ~scale ~deadline ~policy ~json =
+  match
+    Rpb_check.Oracle.fault_sweep ?bench ~threads ~scale ~deadline ~policy ~seed
+      ()
+  with
   | report ->
     print_string (Rpb_check.Oracle.fault_summary report);
     (match json with
@@ -307,15 +330,16 @@ let faults_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE" ~doc:"write the machine-readable report")
   in
-  let run seed bench threads scale deadline json =
-    exit (faults_run ~seed ~bench ~threads ~scale ~deadline ~json)
+  let run seed bench threads scale deadline policy json =
+    exit (faults_run ~seed ~bench ~threads ~scale ~deadline ~policy ~json)
   in
   Cmd.v (Cmd.info "faults" ~doc)
-    Term.(const run $ seed $ bench $ threads $ scale $ deadline $ json)
+    Term.(const run $ seed $ bench $ threads $ scale $ deadline $ policy_arg
+          $ json)
 
-let profile_run ~bench ~input ~mode ~threads ~scale ~seed ~json =
+let profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy ~json =
   match
-    Rpb_obs.Profile.profile ?input ~mode ~bench ~threads ~scale ~seed ()
+    Rpb_obs.Profile.profile ?input ~mode ~policy ~bench ~threads ~scale ~seed ()
   with
   | r ->
     print_string (Rpb_obs.Profile.summary r);
@@ -358,16 +382,17 @@ let profile_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"write the schema_version=2 profile document")
   in
-  let run bench input mode threads scale seed json =
-    exit (profile_run ~bench ~input ~mode ~threads ~scale ~seed ~json)
+  let run bench input mode threads scale seed policy json =
+    exit (profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy ~json)
   in
   Cmd.v (Cmd.info "profile" ~doc)
-    Term.(const run $ bench $ input $ mode $ threads $ scale $ seed $ json)
+    Term.(const run $ bench $ input $ mode $ threads $ scale $ seed
+          $ policy_arg $ json)
 
 (* ---- bench: measured records for the baseline store / perf trajectory ---- *)
 
-let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~with_seq ~json
-    ~baseline_dir =
+let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy ~with_seq
+    ~json ~baseline_dir =
   let names = if name = "all" then Registry.names else [ name ] in
   let missing = List.filter (fun n -> Registry.find n = None) names in
   if missing <> [] then begin
@@ -396,11 +421,13 @@ let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~with_seq ~json
           match input with Some i -> i | None -> List.hd e.Common.inputs
         in
         if with_seq then begin
+          (* The 1-worker sequential baseline never schedules, so it stays on
+             the default policy and keeps matching pre-policy baselines. *)
           let pool = Rpb_pool.Pool.create ~num_workers:1 () in
           Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool)
             (fun () -> measure pool e input `Seq)
         end;
-        let pool = Rpb_pool.Pool.create ~num_workers:threads () in
+        let pool = Rpb_pool.Pool.create ~policy ~num_workers:threads () in
         Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool)
           (fun () -> measure pool e input (`Par mode)))
       names;
@@ -415,6 +442,7 @@ let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~with_seq ~json
              ("scale", Bench_json.Int scale);
              ("threads", Bench_json.Int threads);
              ("repeats", Bench_json.Int repeats);
+             ("policy", Bench_json.Str policy.Rpb_pool.Pool.Policy.name);
            ]
          records;
        Printf.printf "wrote %d benchmark records to %s\n"
@@ -467,14 +495,14 @@ let bench_cmd =
              ~doc:"merge the records into the baseline store (default \
                    $(docv): bench/baselines)")
   in
-  let run name input scale threads repeats mode seq json baseline =
+  let run name input scale threads repeats mode policy seq json baseline =
     exit
-      (bench_run ~name ~input ~scale ~threads ~repeats ~mode ~with_seq:seq
-         ~json ~baseline_dir:baseline)
+      (bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy
+         ~with_seq:seq ~json ~baseline_dir:baseline)
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ bench_arg $ input $ scale $ threads $ repeats $ mode
-          $ seq $ json $ baseline)
+          $ policy_arg $ seq $ json $ baseline)
 
 (* ---- compare: noise-aware regression gate ---- *)
 

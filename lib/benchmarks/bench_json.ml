@@ -294,7 +294,10 @@ let get_list = function
    vector ("samples_ns") and the smoke-run flag ("smoke") to each result
    record; both are optional on read, so v1/v2 records — and v3 records mixed
    into the same document — parse with sane defaults (no samples, not a
-   smoke run). *)
+   smoke run).  The scheduling-policy name ("policy") rides on the same
+   additive convention: optional on read, defaulting to "default" (the only
+   policy that existed before it was recorded), so the version number does
+   not move and existing readers are unchanged. *)
 let schema_version = 3
 let accepted_schema_versions = [ 1; 2; 3 ]
 
@@ -322,6 +325,9 @@ type record = {
   smoke : bool;
       (* one-shot smoke run (registry listing under --json): excluded from
          baseline comparison so it can't masquerade as a trajectory point *)
+  policy : string;
+      (* scheduling-policy name the measuring pool ran under; "default" when
+         the emitting writer predates the field *)
   verified : bool;
   workers : worker_stats list;
 }
@@ -374,6 +380,7 @@ let record_to_json r =
       ("min_ns", Float r.min_ns);
       ("samples_ns", List (Array.to_list (Array.map (fun s -> Float s) r.samples_ns)));
       ("smoke", Bool r.smoke);
+      ("policy", Str r.policy);
       ("verified", Bool r.verified);
       ("workers", List (List.map worker_to_json r.workers));
     ]
@@ -399,6 +406,10 @@ let record_of_json j =
       (match member_opt "smoke" j with
        | None | Some Null -> false
        | Some b -> get_bool b);
+    policy =
+      (match member_opt "policy" j with
+       | None | Some Null -> "default"
+       | Some s -> get_str s);
     verified = get_bool (member "verified" j);
     workers = List.map worker_of_json (get_list (member "workers" j));
   }

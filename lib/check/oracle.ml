@@ -149,7 +149,8 @@ let shadow_self_check ~threads ~seed =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(threads = 4) ?(scale = 0) ?bench ~seed () =
+let run ?(threads = 4) ?(scale = 0) ?bench ?(policy = Pool.Policy.default)
+    ~seed () =
   let entries =
     match bench with
     | None -> Registry.all
@@ -158,11 +159,13 @@ let run ?(threads = 4) ?(scale = 0) ?bench ~seed () =
       | Some e -> [ e ]
       | None -> invalid_arg (Printf.sprintf "Oracle.run: unknown benchmark %s" name))
   in
+  (* The deterministic executors have no scheduler to parameterize; only the
+     real pool runs under [policy]. *)
   let executors =
     [
       ("seq", fun () -> Pool.create_deterministic ~seed ~shuffle:false ());
       ("shuffled", fun () -> Pool.create_deterministic ~seed ~shuffle:true ());
-      ("pool", fun () -> Pool.create ~num_workers:threads ());
+      ("pool", fun () -> Pool.create ~policy ~num_workers:threads ());
     ]
   in
   let outcomes =
@@ -365,7 +368,7 @@ let fault_outcome_ok o =
   if o.f_completed then o.f_digest_equal && o.f_verified && o.f_pool_reusable
   else o.f_raised <> None && o.f_pool_reusable
 
-let sweep_one ~threads ~scale ~deadline ~fault_seed entry sched mode =
+let sweep_one ~threads ~scale ~deadline ~fault_seed ~policy entry sched mode =
   let input = List.hd entry.Common.inputs in
   let cfg = { sched.sched_cfg with Pool.Fault.seed = fault_seed } in
   (* Spawn failures are only meaningful during [create]; arm them alone so
@@ -375,7 +378,7 @@ let sweep_one ~threads ~scale ~deadline ~fault_seed entry sched mode =
       { Pool.Fault.off with
         seed = fault_seed;
         spawn_fail = cfg.Pool.Fault.spawn_fail };
-  let pool = Pool.create ~num_workers:threads () in
+  let pool = Pool.create ~policy ~num_workers:threads () in
   Pool.Fault.disable ();
   Fun.protect
     ~finally:(fun () ->
@@ -450,7 +453,8 @@ let sweep_one ~threads ~scale ~deadline ~fault_seed entry sched mode =
       f_pool_reusable = reusable ();
     }
 
-let fault_sweep ?(threads = 4) ?(scale = 0) ?(deadline = 30.) ?bench ~seed () =
+let fault_sweep ?(threads = 4) ?(scale = 0) ?(deadline = 30.) ?bench
+    ?(policy = Pool.Policy.default) ~seed () =
   let entries =
     match bench with
     | None -> Registry.all
@@ -474,7 +478,8 @@ let fault_sweep ?(threads = 4) ?(scale = 0) ?(deadline = 30.) ?bench ~seed () =
                 (seed lxor Hashtbl.hash (entry.Common.name, k))
             in
             let mode = modes.(k mod Array.length modes) in
-            sweep_one ~threads ~scale ~deadline ~fault_seed entry sched mode)
+            sweep_one ~threads ~scale ~deadline ~fault_seed ~policy entry sched
+              mode)
           fault_schedules)
       entries
   in

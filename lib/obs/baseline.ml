@@ -28,6 +28,7 @@ type key = {
   mode : string;
   threads : int;
   scale : int;
+  policy : string;
 }
 
 let key_of_record (r : J.record) =
@@ -37,11 +38,16 @@ let key_of_record (r : J.record) =
     mode = r.J.mode;
     threads = r.J.threads;
     scale = r.J.scale;
+    (* Pre-policy records read back as "default" (Bench_json's read-side
+       fallback), so committed baselines keep matching default-policy runs
+       and only a non-default policy opens a new key. *)
+    policy = r.J.policy;
   }
 
 let key_to_string k =
-  Printf.sprintf "%s/%s mode=%s t=%d s=%d" k.bench k.input k.mode k.threads
+  Printf.sprintf "%s/%s mode=%s t=%d s=%d%s" k.bench k.input k.mode k.threads
     k.scale
+    (if k.policy = "default" then "" else " policy=" ^ k.policy)
 
 (* ---------- the store ---------- *)
 
@@ -267,6 +273,7 @@ let key_to_json k =
       ("mode", J.Str k.mode);
       ("threads", J.Int k.threads);
       ("scale", J.Int k.scale);
+      ("policy", J.Str k.policy);
     ]
 
 let comparison_to_json c =

@@ -15,6 +15,10 @@ type key = {
   mode : string;
   threads : int;
   scale : int;
+  policy : string;
+      (** scheduling-policy name; pre-policy records read back as
+          ["default"], so committed baselines keep matching default-policy
+          runs *)
 }
 (** The identity of one measured configuration — the unit of comparison. *)
 

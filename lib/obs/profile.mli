@@ -20,6 +20,7 @@ type report = {
   verified : bool;
   workers : Rpb_benchmarks.Bench_json.worker_stats list;
       (** [Pool.Stats] counters across the recorded run *)
+  policy : string;  (** scheduling-policy name the profiled pool ran under *)
   metrics : Sp_dag.t;
 }
 
@@ -27,6 +28,7 @@ val profile :
   ?input:string ->
   ?mode:Rpb_benchmarks.Mode.t ->
   ?ring_capacity:int ->
+  ?policy:Rpb_pool.Pool.Policy.t ->
   bench:string ->
   threads:int ->
   scale:int ->
@@ -36,7 +38,9 @@ val profile :
 (** Run and analyze one benchmark configuration.  [input] defaults to the
     benchmark's first standard input, [mode] to [Unsafe] (the fastest
     parallel implementation — the one whose scaling the paper's tables
-    question).  @raise Invalid_argument on an unknown benchmark name. *)
+    question), [policy] to [Pool.Policy.default]; the policy name is stamped
+    into the recording, the report, and the emitted document.
+    @raise Invalid_argument on an unknown benchmark name. *)
 
 val summary : report -> string
 (** The human-readable report: work, span, parallelism, burdened

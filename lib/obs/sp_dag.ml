@@ -40,6 +40,7 @@ type t = {
   per_worker : worker list;
   phases : phase list;
   granularity : (int * int) list;
+  policy : string;
 }
 
 (* Per-construct accumulator.  [branch 0] is the inline branch (ran on the
@@ -272,6 +273,7 @@ let analyze (recording : R.recording) =
     per_worker;
     phases;
     granularity;
+    policy = recording.policy;
   }
 
 let predicted_speedup m p =

@@ -69,9 +69,103 @@ let c_steals_failed = 2
 let c_idle = 3
 let c_max_depth = 4
 
+(* Per-worker victim hint for the round-robin / sticky selection policies.
+   Living in the counter slab keeps it in the worker's own cache line — no
+   new allocation, no false sharing. *)
+let c_last_victim = 5
+
 (* 8 words = 64 bytes of payload per slab: one full cache line, so two
    workers' counters never share one. *)
 let counter_slots = 8
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling policy.
+
+   Every tunable scheduling decision is a field of one plain record threaded
+   through [create], so a policy costs exactly one record field load at each
+   decision point and the default compiles to the pre-refactor scheduler:
+   steal-one, help-first fork order, uniform-random victims, and the
+   historical spin/backoff constants (64 spins, 50 µs helper sleep, 1 µs
+   doubling to 1 ms off-pool backoff) that used to be hardwired in
+   [worker_loop] / [await] / [drain_scope].
+
+   The decision points are:
+   - {e steal amount} — [try_find_task]: steal one task per successful sweep,
+     or a [Ws_deque.steal_half] batch (thief runs the first task and pushes
+     the rest onto its own deque);
+   - {e fork order} — [join]: help-first pushes the second branch and runs
+     the first inline (today's behavior), work-first pushes the {e first}
+     branch (the continuation) and runs the second inline;
+   - {e victim selection} — [try_find_task]: where the steal sweep starts
+     (uniform random, round-robin from the last successful victim, or sticky
+     on the last successful victim);
+   - {e idle backoff shape} — [worker_loop] / [await] / [drain_scope]: spin
+     budget, helper idle sleep, and the off-pool exponential backoff
+     bounds. *)
+
+module Policy = struct
+  type steal_amount = Steal_one | Steal_half
+  type fork_order = Help_first | Work_first
+  type victim_selection = Random_victim | Round_robin | Sticky
+
+  type t = {
+    name : string;
+    steal_amount : steal_amount;
+    fork_order : fork_order;
+    victim_selection : victim_selection;
+    spin_budget : int;
+    idle_sleep_s : float;
+    backoff_min_s : float;
+    backoff_max_s : float;
+  }
+
+  let default =
+    {
+      name = "default";
+      steal_amount = Steal_one;
+      fork_order = Help_first;
+      victim_selection = Random_victim;
+      spin_budget = 64;
+      idle_sleep_s = 5e-5;
+      backoff_min_s = 1e-6;
+      backoff_max_s = 1e-3;
+    }
+
+  let steal_half = { default with name = "steal_half"; steal_amount = Steal_half }
+  let work_first = { default with name = "work_first"; fork_order = Work_first }
+  let sticky = { default with name = "sticky"; victim_selection = Sticky }
+  let round_robin = { default with name = "round_robin"; victim_selection = Round_robin }
+
+  let steal_half_sticky =
+    {
+      default with
+      name = "steal_half_sticky";
+      steal_amount = Steal_half;
+      victim_selection = Sticky;
+    }
+
+  let work_first_steal_half =
+    {
+      default with
+      name = "work_first_steal_half";
+      fork_order = Work_first;
+      steal_amount = Steal_half;
+    }
+
+  let all =
+    [
+      default;
+      steal_half;
+      work_first;
+      sticky;
+      round_robin;
+      steal_half_sticky;
+      work_first_steal_half;
+    ]
+
+  let names () = List.map (fun p -> p.name) all
+  let find name = List.find_opt (fun p -> p.name = name) all
+end
 
 (* How the pool turns a parallel region into an execution order.  [Ws] is the
    production work-stealing scheduler.  [Seq_det] is the deterministic
@@ -89,6 +183,7 @@ type t = {
   mutable num_workers : int;
   requested_workers : int;
   sched : sched;
+  policy : Policy.t;
   deques : task Ws_deque.t array;
   mutable domains : unit Domain.t array;
   injector : task Queue.t;
@@ -115,6 +210,8 @@ let my_index pool =
   | _ -> None
 
 let size pool = pool.num_workers
+let policy pool = pool.policy
+let policy_name pool = pool.policy.Policy.name
 
 (* Alias for annotating functions defined after [Stats]/[Trace], whose record
    fields would otherwise shadow [t]'s during inference. *)
@@ -136,6 +233,7 @@ module Stats = struct
   type t = {
     num_workers : int;
     requested_workers : int;
+    policy : string;
     per_worker : worker array;
   }
 
@@ -164,6 +262,7 @@ module Stats = struct
     {
       num_workers = after.num_workers;
       requested_workers = after.requested_workers;
+      policy = after.policy;
       per_worker =
         Array.mapi
           (fun i wa ->
@@ -199,6 +298,7 @@ module Stats = struct
     {
       num_workers = pool.num_workers;
       requested_workers = pool.requested_workers;
+      policy = pool.policy.Policy.name;
       (* Counter slabs are allocated for the requested count; only the
          workers that actually exist are reported. *)
       per_worker =
@@ -292,7 +392,12 @@ module Recorder = struct
     | Phase { begin_ns; _ } ->
       begin_ns
 
-  type recording = { events : event list; dropped : int }
+  type recording = { events : event list; dropped : int; policy : string }
+
+  (* Which scheduling policy the recorded session ran under; set by [start],
+     stamped into the [recording] by [stop] so [Sp_dag] reports attribute
+     their work/span/burden numbers to a policy. *)
+  let session_policy = Atomic.make "default"
 
   let enabled () = Atomic.get instr_flags land recording_bit <> 0
   let now_ns = Rpb_prim.Timing.monotonic_ns
@@ -480,7 +585,8 @@ module Recorder = struct
 
   let rec round_up_pow2 n k = if k >= n then k else round_up_pow2 n (k * 2)
 
-  let start ?(ring_capacity = default_capacity) () =
+  let start ?(ring_capacity = default_capacity) ?(policy_name = "default") () =
+    Atomic.set session_policy policy_name;
     Atomic.set capacity (round_up_pow2 (max 16 ring_capacity) 16);
     Mutex.lock registry_mutex;
     rings := [];
@@ -511,7 +617,7 @@ module Recorder = struct
         rs
     in
     let events = List.sort (fun a b -> compare (ts_of a) (ts_of b)) events in
-    { events; dropped }
+    { events; dropped; policy = Atomic.get session_policy }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -798,30 +904,58 @@ let take_injected pool =
   end
 
 (* One attempt to find work: own deque first (depth-first order), then a
-   random sweep over victims, then the injector. *)
+   policy-directed sweep over victims, then the injector.
+
+   Policy decision points (one record field load each): where the sweep
+   starts ([victim_selection]) and how much a successful visit claims
+   ([steal_amount]).  With [Steal_half] the thief keeps the first task of
+   the batch and pushes the rest onto its own deque, so one sweep migrates
+   up to half the victim's queue.  [c_last_victim] records the last
+   successful victim for the round-robin / sticky policies. *)
 let try_find_task pool my_idx rng =
   match Ws_deque.pop pool.deques.(my_idx) with
   | Some _ as t -> t
   | None ->
     let n = pool.num_workers in
     let c = pool.counters.(my_idx) in
-    let start = if n > 1 then Rpb_prim.Rng.int rng n else 0 in
+    let start =
+      if n <= 1 then 0
+      else
+        match pool.policy.Policy.victim_selection with
+        | Policy.Random_victim -> Rpb_prim.Rng.int rng n
+        | Policy.Sticky -> c.(c_last_victim) mod n
+        | Policy.Round_robin -> (c.(c_last_victim) + 1) mod n
+    in
+    let stole v t =
+      c.(c_steals_ok) <- c.(c_steals_ok) + 1;
+      c.(c_last_victim) <- v;
+      if Recorder.enabled () then Recorder.steal_event ~thief:my_idx ~victim:v;
+      if Fault.armed () then Fault.steal_site ();
+      t
+    in
     let rec sweep k =
       if k >= n then None
       else begin
         let v = (start + k) mod n in
         if v = my_idx then sweep (k + 1)
         else
-          match Ws_deque.steal pool.deques.(v) with
-          | Some _ as t ->
-            c.(c_steals_ok) <- c.(c_steals_ok) + 1;
-            if Recorder.enabled () then
-              Recorder.steal_event ~thief:my_idx ~victim:v;
-            if Fault.armed () then Fault.steal_site ();
-            t
-          | None ->
-            c.(c_steals_failed) <- c.(c_steals_failed) + 1;
-            sweep (k + 1)
+          match pool.policy.Policy.steal_amount with
+          | Policy.Steal_one -> (
+            match Ws_deque.steal pool.deques.(v) with
+            | Some _ as t -> stole v t
+            | None ->
+              c.(c_steals_failed) <- c.(c_steals_failed) + 1;
+              sweep (k + 1))
+          | Policy.Steal_half -> (
+            match Ws_deque.steal_half pool.deques.(v) with
+            | first :: rest ->
+              (* Keep the first task; the rest go onto our own deque so the
+                 next [pop]s find them without another sweep. *)
+              List.iter (fun t -> push_local pool my_idx t) rest;
+              stole v (Some first)
+            | [] ->
+              c.(c_steals_failed) <- c.(c_steals_failed) + 1;
+              sweep (k + 1))
       end
     in
     (match sweep 0 with
@@ -849,7 +983,7 @@ let worker_loop pool idx =
   Domain.DLS.get slot_key := Some (pool.id, idx);
   let rng = Rpb_prim.Rng.create (0x5EED + idx) in
   let c = pool.counters.(idx) in
-  let spin_budget = 64 in
+  let spin_budget = pool.policy.Policy.spin_budget in
   let rec loop spins =
     if Atomic.get pool.shutdown_flag then ()
     else
@@ -904,7 +1038,7 @@ let spawn_worker pool idx =
   in
   attempt 1 0.001
 
-let make_pool ~num_workers ~sched =
+let make_pool ~num_workers ~sched ~policy =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
   let pool =
     {
@@ -912,6 +1046,7 @@ let make_pool ~num_workers ~sched =
       num_workers;
       requested_workers = num_workers;
       sched;
+      policy;
       deques = Array.init num_workers (fun _ -> Ws_deque.create ());
       domains = [||];
       injector = Queue.create ();
@@ -941,10 +1076,11 @@ let make_pool ~num_workers ~sched =
   pool.num_workers <- Array.length pool.domains + 1;
   pool
 
-let create ?name:_ ~num_workers () = make_pool ~num_workers ~sched:Ws
+let create ?name:_ ?(policy = Policy.default) ~num_workers () =
+  make_pool ~num_workers ~sched:Ws ~policy
 
 let create_deterministic ?(seed = 0) ?(shuffle = true) () =
-  make_pool ~num_workers:1
+  make_pool ~num_workers:1 ~policy:Policy.default
     ~sched:(Seq_det { rng = Rpb_prim.Rng.create (0xDE7 lxor seed); shuffle })
 
 let deterministic pool =
@@ -1057,13 +1193,15 @@ let await pool p =
    | Some idx ->
      let rng = Rpb_prim.Rng.create (0xA3A17 + idx) in
      let c = pool.counters.(idx) in
+     let spin_budget = pool.policy.Policy.spin_budget in
+     let idle_sleep = pool.policy.Policy.idle_sleep_s in
      let rec help spins =
        match Atomic.get p with
        | Pending ->
          (match try_find_task pool idx rng with
           | Some task ->
             execute pool idx task;
-            help 64
+            help spin_budget
           | None ->
             if spins > 0 then begin
               Domain.cpu_relax ();
@@ -1075,25 +1213,27 @@ let await pool p =
               let idle_t0 =
                 if Recorder.enabled () then Recorder.now_ns () else 0
               in
-              Unix.sleepf 5e-5;
+              Unix.sleepf idle_sleep;
               if idle_t0 <> 0 && Recorder.enabled () then
                 Recorder.idle_event ~w:idx ~begin_ns:idle_t0;
-              help 64
+              help spin_budget
             end)
        | Done _ | Raised _ -> ()
      in
-     help 64
+     help spin_budget
    | None ->
-     (* Off-pool waiter: spin briefly, then back off exponentially from 1 µs
-        up to 1 ms — a freshly failed or resolved task is observed promptly
-        without burning a core, and the worst-case poll latency stays three
-        orders of magnitude below the old fixed 100 µs × forever loop's
-        pathological wakeup storms under load. *)
+     (* Off-pool waiter: spin briefly, then back off exponentially (by
+        default 1 µs up to 1 ms, policy fields [backoff_min_s] /
+        [backoff_max_s]) — a freshly failed or resolved task is observed
+        promptly without burning a core, and the worst-case poll latency
+        stays three orders of magnitude below the old fixed 100 µs × forever
+        loop's pathological wakeup storms under load. *)
+     let backoff_max = pool.policy.Policy.backoff_max_s in
      let rec wait delay =
        match Atomic.get p with
        | Pending ->
          Unix.sleepf delay;
-         wait (Float.min (delay *. 2.) 1e-3)
+         wait (Float.min (delay *. 2.) backoff_max)
        | Done _ | Raised _ -> ()
      in
      let rec spin k =
@@ -1103,10 +1243,10 @@ let await pool p =
            Domain.cpu_relax ();
            spin (k - 1)
          end
-         else wait 1e-6
+         else wait pool.policy.Policy.backoff_min_s
        | Done _ | Raised _ -> ()
      in
-     spin 64);
+     spin pool.policy.Policy.spin_budget);
   finish ()
 
 let try_result p =
@@ -1130,6 +1270,8 @@ let drain_scope pool scope =
       | None -> Float.infinity
       | Some d -> Unix.gettimeofday () +. d +. 0.1
     in
+    let backoff_min = pool.policy.Policy.backoff_min_s in
+    let backoff_max = pool.policy.Policy.backoff_max_s in
     let rec wait delay =
       if Atomic.get scope.outstanding > 0 then
         if Unix.gettimeofday () > give_up then
@@ -1142,13 +1284,13 @@ let drain_scope pool scope =
           match try_find_task pool idx rng with
           | Some task ->
             execute pool idx task;
-            wait 1e-6
+            wait backoff_min
           | None ->
             Unix.sleepf delay;
-            wait (Float.min (delay *. 2.) 1e-3)
+            wait (Float.min (delay *. 2.) backoff_max)
         end
     in
-    wait 1e-6
+    wait backoff_min
   end
 
 (* A parallel-construct frame.  Tracks per-domain nesting; when a failure
@@ -1185,6 +1327,56 @@ let with_construct pool k =
     end
     else Printexc.raise_with_backtrace e bt
 
+(* The work-stealing [join] engine, parameterized over which branch is
+   spawned and which runs inline so the fork-order policy is a role swap
+   around one shared implementation.  Returns [(inline result, spawned
+   result)]; [join] below reorders the pair to [(f result, g result)]. *)
+let ws_join_core pool scope my_idx sp inl =
+  if not (Recorder.enabled ()) then begin
+    let ps = spawn_task pool ~structured:true scope sp in
+    match inl () with
+    | a ->
+      let b = await pool ps in
+      (a, b)
+    | exception ei ->
+      let bt = Printexc.get_raw_backtrace () in
+      scope_cancel scope ei bt;
+      (* The sibling may already be running on another worker and
+         referencing caller state: wait for its promise to resolve
+         (it is skipped if it has not started) before unwinding, so
+         the exception never races its own branch's stack frames. *)
+      (match await pool ps with _ -> () | exception _ -> ());
+      Printexc.raise_with_backtrace ei bt
+  end
+  else begin
+    (* Recording: this join becomes a construct in the recorded
+       series-parallel DAG.  The forking strand's segment is closed
+       at the fork, branch 0 (the inline branch) is tagged until it
+       returns, the spawned branch is tagged by the [run_branch]
+       wrapper wherever it executes, and no segment is open across
+       [await] — helping or waiting time is never charged as
+       work. *)
+    let fk = Recorder.fork ~w:my_idx in
+    let id, _, _ = fk in
+    let ps =
+      spawn_task pool ~structured:true scope (Recorder.run_branch pool id sp)
+    in
+    Recorder.branch_open ~w:my_idx fk;
+    match inl () with
+    | a ->
+      Recorder.seg_close_cur ~w:my_idx;
+      let b = await pool ps in
+      Recorder.join_done ~w:my_idx fk;
+      (a, b)
+    | exception ei ->
+      let bt = Printexc.get_raw_backtrace () in
+      Recorder.seg_close_cur ~w:my_idx;
+      scope_cancel scope ei bt;
+      (match await pool ps with _ -> () | exception _ -> ());
+      Recorder.join_done ~w:my_idx fk;
+      Printexc.raise_with_backtrace ei bt
+  end
+
 let join pool f g =
   match pool.sched with
   | Seq_det { rng; shuffle } ->
@@ -1213,51 +1405,17 @@ let join pool f g =
               this subtree before it forks more work.  One atomic load when
               healthy (plus one for the flight-recorder switch). *)
            if Atomic.get scope.cancel_flag then scope_raise scope;
-           if not (Recorder.enabled ()) then begin
-             let pg = spawn_task pool ~structured:true scope g in
-             match f () with
-             | a ->
-               let b = await pool pg in
-               (a, b)
-             | exception ef ->
-               let bt = Printexc.get_raw_backtrace () in
-               scope_cancel scope ef bt;
-               (* The sibling may already be running on another worker and
-                  referencing caller state: wait for its promise to resolve
-                  (it is skipped if it has not started) before unwinding, so
-                  the exception never races its own branch's stack frames. *)
-               (match await pool pg with _ -> () | exception _ -> ());
-               Printexc.raise_with_backtrace ef bt
-           end
-           else begin
-             (* Recording: this join becomes a construct in the recorded
-                series-parallel DAG.  The forking strand's segment is closed
-                at the fork, branch 0 (the inline branch) is tagged until it
-                returns, the spawned branch is tagged by the [run_branch]
-                wrapper wherever it executes, and no segment is open across
-                [await] — helping or waiting time is never charged as
-                work. *)
-             let fk = Recorder.fork ~w:my_idx in
-             let id, _, _ = fk in
-             let pg =
-               spawn_task pool ~structured:true scope
-                 (Recorder.run_branch pool id g)
-             in
-             Recorder.branch_open ~w:my_idx fk;
-             match f () with
-             | a ->
-               Recorder.seg_close_cur ~w:my_idx;
-               let b = await pool pg in
-               Recorder.join_done ~w:my_idx fk;
-               (a, b)
-             | exception ef ->
-               let bt = Printexc.get_raw_backtrace () in
-               Recorder.seg_close_cur ~w:my_idx;
-               scope_cancel scope ef bt;
-               (match await pool pg with _ -> () | exception _ -> ());
-               Recorder.join_done ~w:my_idx fk;
-               Printexc.raise_with_backtrace ef bt
-           end))
+           (* Fork-order decision point (one record field load).
+              Help-first — today's default — pushes [g] and runs [f]
+              inline; work-first pushes [f] (the continuation branch) and
+              runs [g] (the child) inline, so an idle thief picks up the
+              continuation while this worker descends into the child. *)
+           match pool.policy.Policy.fork_order with
+           | Policy.Help_first ->
+             ws_join_core pool scope my_idx g f
+           | Policy.Work_first ->
+             let b, a = ws_join_core pool scope my_idx f g in
+             (a, b)))
 
 let default_grain (pool : pool) n = max 1 (n / (8 * pool.num_workers))
 

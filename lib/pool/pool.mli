@@ -66,17 +66,95 @@ exception Stalled of string
     carries the deadline and a per-worker counter dump ({!Stats.to_string})
     taken at expiry, for post-mortem. *)
 
-val create : ?name:string -> num_workers:int -> unit -> t
+(** {1 Scheduling policies}
+
+    Every tunable scheduling decision of the work-stealing runtime is a field
+    of one plain {!Policy.t} record threaded through {!create} — so a policy
+    costs one record field load at each decision point, and the default
+    policy compiles to exactly the pre-refactor scheduler (steal-one,
+    help-first, uniform-random victims, and the historical spin/backoff
+    constants).  Policies are how the per-workload steal/fork trade-offs the
+    scheduling literature describes (steal-half batches, work-first fork
+    order, victim affinity) become raceable experiments instead of hardwired
+    constants: [rpb bench --policy NAME] and the CI policy-race job run the
+    same benchmark registry under different policies and attribute every
+    result — telemetry JSON, {!Stats}, flight recordings — to the policy
+    name. *)
+
+module Policy : sig
+  type steal_amount =
+    | Steal_one  (** one task per successful steal (Chase–Lev default) *)
+    | Steal_half
+        (** claim up to half of the victim's observed queue per visit; the
+            thief runs the first task and pushes the rest onto its own
+            deque.  See {!Ws_deque.steal_half} for the batching contract. *)
+
+  type fork_order =
+    | Help_first
+        (** [join f g] pushes [g] and runs [f] inline — the pre-refactor
+            behavior: the worker keeps descending the left spine and thieves
+            help with the right branches. *)
+    | Work_first
+        (** [join f g] pushes [f] (the continuation branch) and runs [g]
+            (the child) inline, so an idle thief picks up the continuation
+            while the worker commits to the child first. *)
+
+  type victim_selection =
+    | Random_victim  (** sweep starts at a uniform random worker (default) *)
+    | Round_robin  (** sweep starts after the last successful victim *)
+    | Sticky  (** sweep starts at the last successful victim *)
+
+  type t = {
+    name : string;  (** registry key; stamped into all telemetry *)
+    steal_amount : steal_amount;
+    fork_order : fork_order;
+    victim_selection : victim_selection;
+    spin_budget : int;  (** spins before a worker sleeps / a waiter backs off *)
+    idle_sleep_s : float;  (** helper's sleep when out of work under [await] *)
+    backoff_min_s : float;  (** off-pool waiter's initial poll interval *)
+    backoff_max_s : float;  (** off-pool waiter's poll-interval cap *)
+  }
+
+  val default : t
+  (** Steal-one, help-first, random victims, spin budget 64, 50 µs helper
+      sleep, 1 µs → 1 ms off-pool backoff: bit-for-bit today's scheduler. *)
+
+  val steal_half : t
+  val work_first : t
+  val sticky : t
+  val round_robin : t
+  val steal_half_sticky : t
+  val work_first_steal_half : t
+
+  val all : t list
+  (** The named-policy registry, [default] first. *)
+
+  val names : unit -> string list
+
+  val find : string -> t option
+  (** Look a policy up by {!t.name}. *)
+end
+
+val create : ?name:string -> ?policy:Policy.t -> num_workers:int -> unit -> t
 (** [create ~num_workers ()] spawns [num_workers - 1] worker domains; the
     domain that later calls {!run} acts as the remaining worker.
     [num_workers] must be at least 1.  With [num_workers = 1] every operation
     degrades to sequential execution on the caller.
+
+    [?policy] (default {!Policy.default}) fixes the scheduling policy for the
+    pool's lifetime; see {!Policy}.
 
     Graceful degradation: if [Domain.spawn] fails (resource exhaustion), the
     attempt is retried with capped backoff and, if it keeps failing, the pool
     is created with however many workers did spawn instead of crashing.  The
     shortfall is visible as {!Stats.requested_workers} vs
     {!Stats.num_workers}. *)
+
+val policy : t -> Policy.t
+(** The policy the pool was created with. *)
+
+val policy_name : t -> string
+(** [policy_name pool = (policy pool).Policy.name]. *)
 
 val create_deterministic : ?seed:int -> ?shuffle:bool -> unit -> t
 (** A drop-in deterministic sequential executor: a pool of one worker (no
@@ -191,6 +269,7 @@ module Stats : sig
     requested_workers : int;
         (** workers asked for at {!create}; [> num_workers] iff the pool
             degraded because [Domain.spawn] kept failing *)
+    policy : string;  (** {!Policy.t.name} of the pool's scheduling policy *)
     per_worker : worker array;
   }
 
@@ -314,16 +393,19 @@ module Recorder : sig
   val ts_of : event -> int
   (** The event's (begin) timestamp, for sorting. *)
 
-  type recording = { events : event list; dropped : int }
+  type recording = { events : event list; dropped : int; policy : string }
   (** All surviving events, sorted by timestamp, plus how many were lost to
-      ring overflow ([dropped = 0] means the rings were large enough). *)
+      ring overflow ([dropped = 0] means the rings were large enough) and
+      the scheduling-policy name passed to {!start}, so downstream analyzers
+      ([Rpb_obs.Sp_dag]) attribute the session to a policy. *)
 
   val enabled : unit -> bool
 
-  val start : ?ring_capacity:int -> unit -> unit
+  val start : ?ring_capacity:int -> ?policy_name:string -> unit -> unit
   (** Arm the recorder with fresh per-domain rings of [ring_capacity] events
-      each (rounded up to a power of two; default 32Ki).  Any events from a
-      previous session are discarded. *)
+      each (rounded up to a power of two; default 32Ki).  [policy_name]
+      (default ["default"]) is stamped into the resulting {!recording}.
+      Any events from a previous session are discarded. *)
 
   val stop : unit -> recording
   (** Disarm and collect every domain's ring into one sorted event list. *)

@@ -407,6 +407,24 @@ let test_oracle_detects_order_sensitivity () =
   Alcotest.(check bool) "shuffled schedule exposes order-sensitivity" true
     disagrees
 
+(* Every named scheduling policy must produce a clean oracle verdict: the
+   policy's pool runs against the very same deterministic reference digests,
+   so a policy that reorders, drops or duplicates work cannot pass.  One
+   cheap benchmark per fear tier keeps the sweep fast. *)
+let test_oracle_clean_under_every_policy () =
+  List.iter
+    (fun (p : Pool.Policy.t) ->
+      List.iter
+        (fun bench ->
+          let report =
+            Oracle.run ~threads:3 ~scale:0 ~bench ~policy:p ~seed:11 ()
+          in
+          if not (Oracle.ok report) then
+            Alcotest.failf "policy %s fails the oracle on %s:\n%s"
+              p.Pool.Policy.name bench (Oracle.summary report))
+        [ "isort"; "sa"; "hist" ])
+    Pool.Policy.all
+
 (* ---------- The fault sweep ---------- *)
 
 let test_fault_sweep_single_bench () =
@@ -444,6 +462,21 @@ let test_fault_sweep_deterministic () =
   let a = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"dedup" ~seed:3 () in
   let b = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"dedup" ~seed:3 () in
   Alcotest.(check bool) "equal seeds, equal schedules" true (digest a = digest b)
+
+(* The batch-transfer path (steal_half re-pushing a stolen batch) under
+   injected task exceptions, steal delays and degraded spawns: the failure
+   semantics contract must hold exactly as it does for single steals. *)
+let test_fault_sweep_steal_half_policy () =
+  match Pool.Policy.find "steal_half" with
+  | None -> Alcotest.fail "steal_half policy missing from the registry"
+  | Some policy ->
+    let report =
+      Oracle.fault_sweep ~threads:3 ~scale:0 ~deadline:20. ~bench:"sort"
+        ~policy ~seed:13 ()
+    in
+    if not (Oracle.fault_ok report) then
+      Alcotest.failf "steal_half under faults:\n%s"
+        (Oracle.fault_summary report)
 
 let test_fault_sweep_json_fields () =
   let report = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"sort" ~seed:1 () in
@@ -516,6 +549,8 @@ let () =
           Alcotest.test_case "single bench ok" `Quick test_oracle_single_bench_ok;
           Alcotest.test_case "json fields" `Quick
             test_oracle_report_json_roundtrip_fields;
+          Alcotest.test_case "clean under every policy" `Quick
+            test_oracle_clean_under_every_policy;
           Alcotest.test_case "order sensitivity exposed" `Quick
             test_oracle_detects_order_sensitivity;
         ] );
@@ -525,6 +560,8 @@ let () =
             test_fault_sweep_single_bench;
           Alcotest.test_case "deterministic schedules" `Quick
             test_fault_sweep_deterministic;
+          Alcotest.test_case "steal_half under faults" `Quick
+            test_fault_sweep_steal_half_policy;
           Alcotest.test_case "json fields" `Quick test_fault_sweep_json_fields;
         ] );
     ]

@@ -246,6 +246,7 @@ let test_disabled_paths_stay_cheap () =
 let migrated_recording =
   {
     R.dropped = 0;
+    policy = "default";
     events =
       [
         R.Work { construct = 0; branch = 0; w = 0; begin_ns = 0; end_ns = 100 };
@@ -294,6 +295,7 @@ let test_analyze_orphans_and_owner_pops () =
   let r =
     {
       R.dropped = 3;
+      policy = "default";
       events =
         [
           R.Work { construct = 0; branch = 0; w = 0; begin_ns = 0; end_ns = 100 };
@@ -317,7 +319,7 @@ let test_analyze_orphans_and_owner_pops () =
   Alcotest.(check int) "dropped passes through" 3 m.Sp_dag.dropped
 
 let test_analyze_empty_recording () =
-  let m = Sp_dag.analyze { R.events = []; dropped = 0 } in
+  let m = Sp_dag.analyze { R.events = []; dropped = 0; policy = "default" } in
   Alcotest.(check int) "work" 0 m.Sp_dag.work_ns;
   Alcotest.(check int) "span" 0 m.Sp_dag.span_ns;
   Alcotest.(check (float 1e-9)) "parallelism defaults to 1" 1.0
@@ -390,6 +392,34 @@ let test_profile_unknown_bench () =
   | _ -> Alcotest.fail "accepted an unknown benchmark"
   | exception Invalid_argument _ -> ()
 
+(* Policy attribution end-to-end: the profiled pool's policy lands in the
+   recording, the report, and the written document. *)
+let test_profile_policy_attribution () =
+  let r = Profile.profile ~bench:"sort" ~threads:2 ~scale:0 ~seed:7 () in
+  Alcotest.(check string) "default attribution" "default" r.Profile.policy;
+  Alcotest.(check string) "default metrics attribution" "default"
+    r.Profile.metrics.Sp_dag.policy;
+  match Rpb_pool.Pool.Policy.find "work_first" with
+  | None -> Alcotest.fail "work_first policy missing from the registry"
+  | Some policy ->
+    let r =
+      Profile.profile ~policy ~bench:"sort" ~threads:2 ~scale:0 ~seed:7 ()
+    in
+    Alcotest.(check bool) "work_first profile verified" true
+      r.Profile.verified;
+    Alcotest.(check string) "report attribution" "work_first"
+      r.Profile.policy;
+    Alcotest.(check string) "metrics attribution" "work_first"
+      r.Profile.metrics.Sp_dag.policy;
+    let path = Filename.temp_file "rpb_profile_policy" ".json" in
+    Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+    Profile.write_json ~path r;
+    let back = Profile.read_json path in
+    Alcotest.(check string) "policy survives the JSON round-trip" "work_first"
+      back.Profile.policy;
+    Alcotest.(check string) "metrics policy survives" "work_first"
+      back.Profile.metrics.Sp_dag.policy
+
 let () =
   Alcotest.run "rpb_obs"
     [
@@ -418,5 +448,7 @@ let () =
           Alcotest.test_case "JSON round-trip" `Quick
             test_profile_json_roundtrip;
           Alcotest.test_case "unknown bench" `Quick test_profile_unknown_bench;
+          Alcotest.test_case "policy attribution" `Quick
+            test_profile_policy_attribution;
         ] );
     ]

@@ -123,8 +123,8 @@ let test_normal_sf () =
 (* ---------- Baseline: classification ---------- *)
 
 let mk ?(bench = "sort") ?(input = "exponential") ?(mode = "unsafe")
-    ?(threads = 4) ?(scale = 0) ?(smoke = false) ?(samples = [||])
-    ?(mean = 1e6) () =
+    ?(threads = 4) ?(scale = 0) ?(smoke = false) ?(policy = "default")
+    ?(samples = [||]) ?(mean = 1e6) () =
   {
     J.bench;
     input;
@@ -136,6 +136,7 @@ let mk ?(bench = "sort") ?(input = "exponential") ?(mode = "unsafe")
     min_ns = mean;
     samples_ns = samples;
     smoke;
+    policy;
     verified = true;
     workers = [];
   }
@@ -326,6 +327,28 @@ let test_compare_json_round_trip () =
   Alcotest.(check int) "comparisons survive the round-trip" 1
     (List.length (J.get_list (J.member "comparisons" j')))
 
+(* A non-default policy opens its own baseline key, while default-policy
+   records keep matching pre-policy baselines (whose records read back with
+   policy = "default"). *)
+let test_compare_policy_opens_new_key () =
+  let baseline = [ mk ~samples:tight () ] in
+  let r =
+    Baseline.compare_records ~baseline
+      ~current:[ mk ~policy:"steal_half" ~samples:tight () ]
+      ()
+  in
+  Alcotest.(check int) "no shared key across policies" 0
+    (List.length r.Baseline.comparisons);
+  Alcotest.(check int) "baseline-only key" 1
+    (List.length r.Baseline.only_baseline);
+  Alcotest.(check int) "current-only key" 1
+    (List.length r.Baseline.only_current);
+  let r2 =
+    Baseline.compare_records ~baseline ~current:[ mk ~samples:tight () ] ()
+  in
+  Alcotest.(check int) "default-policy run matches the pre-policy key" 1
+    (List.length r2.Baseline.comparisons)
+
 (* ---------- Report: derived views ---------- *)
 
 let test_report_speedup_curves () =
@@ -402,6 +425,44 @@ let test_report_render () =
   Alcotest.(check bool) "markdown carries the overhead ratio" true
     (contains md "1.20x")
 
+let test_report_policy_races () =
+  let records =
+    [
+      mk ~bench:"sort" ~samples:[| 10e6; 10e6; 10e6 |] ();
+      mk ~bench:"sort" ~policy:"steal_half" ~samples:[| 8e6; 8e6; 8e6 |] ();
+      mk ~bench:"sort" ~policy:"work_first" ~samples:[| 12e6 |] ();
+      (* measured under one policy only: nothing to race *)
+      mk ~bench:"hist" ~samples:[| 1e6 |] ();
+      (* smoke records never enter the race *)
+      mk ~bench:"bw" ~smoke:true ~samples:[| 1e6 |] ();
+      mk ~bench:"bw" ~policy:"sticky" ~smoke:true ~samples:[| 2e6 |] ();
+    ]
+  in
+  (match Report.policy_races records with
+   | [ r ] ->
+     Alcotest.(check string) "bench" "sort" r.Report.pr_bench;
+     (* sort's worst access pattern is RngInd: comfortable, the mildest
+        tier any registry benchmark reaches (everything else carries AW). *)
+     Alcotest.(check string) "fear tier from the registry" "C"
+       r.Report.pr_tier;
+     Alcotest.(check string) "winner is the fastest policy" "steal_half"
+       r.Report.pr_winner;
+     Alcotest.(check (list string)) "policies sorted by name"
+       [ "default"; "steal_half"; "work_first" ]
+       (List.map fst r.Report.pr_times)
+   | rs -> Alcotest.failf "expected one race, got %d" (List.length rs));
+  let a = { Report.empty with Report.bench = records } in
+  Alcotest.(check bool) "html renders the race section" true
+    (contains (Report.to_html a) "Policy race");
+  Alcotest.(check bool) "markdown renders the race table" true
+    (contains (Report.to_markdown a) "Policy race");
+  (* and a single-policy artifact set renders no race section at all *)
+  let b =
+    { Report.empty with Report.bench = [ mk ~samples:[| 1e6 |] () ] }
+  in
+  Alcotest.(check bool) "no race section without a second policy" false
+    (contains (Report.to_html b) "Policy race")
+
 let test_report_classify_and_errors () =
   Alcotest.(check string) "plain documents classify as bench" "bench"
     (Report.classify_doc (J.Obj [ ("results", J.List []) ]));
@@ -448,6 +509,8 @@ let () =
             test_compare_smoke_and_coverage;
           Alcotest.test_case "seeded determinism" `Quick
             test_compare_deterministic;
+          Alcotest.test_case "policy opens a new key" `Quick
+            test_compare_policy_opens_new_key;
         ] );
       ( "baseline-store",
         [
@@ -464,6 +527,8 @@ let () =
             test_report_overheads;
           Alcotest.test_case "html and markdown render" `Quick
             test_report_render;
+          Alcotest.test_case "policy race winner table" `Quick
+            test_report_policy_races;
           Alcotest.test_case "classification and error capture" `Quick
             test_report_classify_and_errors;
         ] );

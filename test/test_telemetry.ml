@@ -79,6 +79,7 @@ let sample_record =
       min_ns = 1200000.0;
       samples_ns = [| 1234567.875; 1303703.625; 1200000.0 |];
       smoke = false;
+      policy = "steal_half";
       verified = true;
       workers =
         [
@@ -157,7 +158,8 @@ let test_v1_document_still_parses () =
     (* v3 fields default sanely on pre-v3 records. *)
     Alcotest.(check int) "no sample vector" 0
       (Array.length r.Bench_json.samples_ns);
-    Alcotest.(check bool) "not a smoke run" false r.Bench_json.smoke
+    Alcotest.(check bool) "not a smoke run" false r.Bench_json.smoke;
+    Alcotest.(check string) "policy defaults" "default" r.Bench_json.policy
   | _ -> Alcotest.fail "expected exactly one record in the v1 document"
 
 (* A checked-in schema_version=2 document, as PR 4's writer emitted it (the
@@ -178,7 +180,8 @@ let test_v2_document_still_parses () =
     Alcotest.(check int) "repeats" 2 r.Bench_json.repeats;
     Alcotest.(check int) "no sample vector" 0
       (Array.length r.Bench_json.samples_ns);
-    Alcotest.(check bool) "not a smoke run" false r.Bench_json.smoke
+    Alcotest.(check bool) "not a smoke run" false r.Bench_json.smoke;
+    Alcotest.(check string) "policy defaults" "default" r.Bench_json.policy
   | _ -> Alcotest.fail "expected exactly one record in the v2 document"
 
 (* One document holding v1-, v2- and v3-shaped records at once: the reader is
@@ -288,6 +291,30 @@ let test_measure_entry_seq_mode () =
         in
         Alcotest.(check int) "sequential run never steals" 0 steals)
 
+(* The record carries the measuring pool's policy name, and it survives the
+   JSON round-trip — the attribution `rpb report`'s policy race relies on. *)
+let test_measure_entry_stamps_policy () =
+  let module Pool = Rpb_pool.Pool in
+  match (Registry.find "sort", Pool.Policy.find "steal_half") with
+  | None, _ -> Alcotest.fail "sort benchmark missing from registry"
+  | _, None -> Alcotest.fail "steal_half policy missing from registry"
+  | Some e, Some policy ->
+    let pool = Pool.create ~policy ~num_workers:2 () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let record, _ =
+      Registry.measure_entry pool ~entry:e ~input:(List.hd e.Common.inputs)
+        ~scale:0 ~repeats:1 ~how:(`Par Mode.Unsafe)
+    in
+    Alcotest.(check string) "record carries the pool policy" "steal_half"
+      record.Bench_json.policy;
+    let back =
+      Bench_json.record_of_json
+        (Bench_json.of_string
+           (Bench_json.to_string (Bench_json.record_to_json record)))
+    in
+    Alcotest.(check string) "policy survives the JSON round-trip" "steal_half"
+      back.Bench_json.policy
+
 (* ---------- chrome trace output parses as JSON ---------- *)
 
 let test_trace_file_is_valid_json () =
@@ -349,6 +376,8 @@ let () =
             test_measure_entry_captures_stats;
           Alcotest.test_case "measure_entry seq" `Quick
             test_measure_entry_seq_mode;
+          Alcotest.test_case "measure_entry stamps the policy" `Quick
+            test_measure_entry_stamps_policy;
         ] );
       ( "trace",
         [
