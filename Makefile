@@ -1,6 +1,6 @@
 .PHONY: all build typecheck test bench examples doc clean check-race check-fault \
 	profile-smoke compare-smoke report-smoke perf-gate save-baseline \
-	policy-race-smoke
+	policy-race-smoke granularity-smoke
 
 all: build
 
@@ -89,10 +89,24 @@ perf-gate:
 # plus the dashboard with the winner table.
 policy-race-smoke:
 	dune exec bench/main.exe -- --policy-race --race-benchmarks sort,sa,hist \
-	  --policies default,steal_half,work_first,sticky \
+	  --policies default,steal_half,work_first,sticky,lazy \
 	  --scale 0 --repeats 3 --json POLICY_race.json
 	dune exec bin/rpb.exe -- report POLICY_race.json -o REPORT_policy_race.html --md REPORT_policy_race.md
 	test -s REPORT_policy_race.md
+
+# CI granularity-smoke job: the splitter A/B at the adversarial grain.  The
+# eager_grain1 / lazy_grain1 policies both force grain=1 on every defaulted
+# loop (one deque task per index under the eager splitter), so hist's
+# mutex-guarded Synchronized mode — the finest-grained, highest-overhead
+# loop in the registry — becomes a worst-case burdened-parallelism probe.
+# The lazy splitter must claw that overhead back by coarsening inline when
+# its deque is already deep; both profile documents ship as artifacts so
+# the job summary can put burdened parallelism side by side.
+granularity-smoke:
+	dune exec bin/rpb.exe -- profile --bench hist --mode sync --threads 4 --scale 0 \
+	  --policy eager_grain1 --json PROFILE_grain_eager.json
+	dune exec bin/rpb.exe -- profile --bench hist --mode sync --threads 4 --scale 0 \
+	  --policy lazy_grain1 --json PROFILE_grain_lazy.json
 
 # Refresh the committed baseline store from this machine (then commit the
 # changed bench/baselines/*.json).
@@ -114,6 +128,7 @@ examples:
 	dune exec examples/mesh_refinement.exe
 	dune exec examples/transactions.exe
 	dune exec examples/failure_semantics.exe
+	dune exec examples/granularity.exe
 
 doc:
 	dune build @doc

@@ -725,7 +725,9 @@ let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 let parse_args () =
   let scale = ref 2 and threads = ref default_threads and repeats = ref 3 in
   let json = ref None in
-  let policies = ref [ "default"; "steal_half"; "work_first"; "sticky" ] in
+  let policies =
+    ref [ "default"; "steal_half"; "work_first"; "sticky"; "lazy" ]
+  in
   let race_benchmarks = ref None in
   let which = ref [] in
   let rec go = function

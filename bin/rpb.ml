@@ -39,7 +39,15 @@ let policy_arg =
   Arg.(value & opt policy_conv Rpb_pool.Pool.Policy.default
        & info [ "policy" ] ~docv:"POLICY"
            ~doc:"named scheduling policy for the work-stealing pool (see `rpb \
-                 list` docs; e.g. default, steal_half, work_first, sticky)")
+                 list` docs; e.g. default, steal_half, work_first, sticky, \
+                 lazy, lazy_sticky, lazy_steal_half)")
+
+let minor_heap_kb_arg =
+  Arg.(value & opt (some int) None
+       & info [ "minor-heap-kb" ] ~docv:"KB"
+           ~doc:"size each worker domain's minor heap to $(docv) KiB for the \
+                 measured pool (an allocation-overhead lever alongside \
+                 --policy; the runtime default applies when omitted)")
 
 let run_one ~name ~input ~scale ~threads ~mode ~repeats ~seq =
   match Registry.find name with
@@ -337,9 +345,11 @@ let faults_cmd =
     Term.(const run $ seed $ bench $ threads $ scale $ deadline $ policy_arg
           $ json)
 
-let profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy ~json =
+let profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy
+    ~minor_heap_kb ~json =
   match
-    Rpb_obs.Profile.profile ?input ~mode ~policy ~bench ~threads ~scale ~seed ()
+    Rpb_obs.Profile.profile ?input ~mode ~policy ?minor_heap_kb ~bench ~threads
+      ~scale ~seed ()
   with
   | r ->
     print_string (Rpb_obs.Profile.summary r);
@@ -382,17 +392,19 @@ let profile_cmd =
          & info [ "json" ] ~docv:"FILE"
              ~doc:"write the schema_version=2 profile document")
   in
-  let run bench input mode threads scale seed policy json =
-    exit (profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy ~json)
+  let run bench input mode threads scale seed policy minor_heap_kb json =
+    exit
+      (profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy
+         ~minor_heap_kb ~json)
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(const run $ bench $ input $ mode $ threads $ scale $ seed
-          $ policy_arg $ json)
+          $ policy_arg $ minor_heap_kb_arg $ json)
 
 (* ---- bench: measured records for the baseline store / perf trajectory ---- *)
 
-let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy ~with_seq
-    ~json ~baseline_dir =
+let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy
+    ~minor_heap_kb ~with_seq ~json ~baseline_dir =
   let names = if name = "all" then Registry.names else [ name ] in
   let missing = List.filter (fun n -> Registry.find n = None) names in
   if missing <> [] then begin
@@ -427,7 +439,9 @@ let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy ~with_seq
           Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool)
             (fun () -> measure pool e input `Seq)
         end;
-        let pool = Rpb_pool.Pool.create ~policy ~num_workers:threads () in
+        let pool =
+          Rpb_pool.Pool.create ~policy ?minor_heap_kb ~num_workers:threads ()
+        in
         Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool)
           (fun () -> measure pool e input (`Par mode)))
       names;
@@ -495,14 +509,15 @@ let bench_cmd =
              ~doc:"merge the records into the baseline store (default \
                    $(docv): bench/baselines)")
   in
-  let run name input scale threads repeats mode policy seq json baseline =
+  let run name input scale threads repeats mode policy minor_heap_kb seq json
+      baseline =
     exit
       (bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy
-         ~with_seq:seq ~json ~baseline_dir:baseline)
+         ~minor_heap_kb ~with_seq:seq ~json ~baseline_dir:baseline)
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(const run $ bench_arg $ input $ scale $ threads $ repeats $ mode
-          $ policy_arg $ seq $ json $ baseline)
+          $ policy_arg $ minor_heap_kb_arg $ seq $ json $ baseline)
 
 (* ---- compare: noise-aware regression gate ---- *)
 

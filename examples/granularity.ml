@@ -1,0 +1,79 @@
+(* Granularity: what adaptive (lazy) splitting buys on fine-grain loops.
+
+   Run with:  dune exec examples/granularity.exe
+
+   Eager splitting decides the task tree before running anything: at
+   grain=1 a loop over n indices becomes n-1 deque tasks, and the
+   scheduling cost dwarfs a cheap loop body.  The lazy splitter makes the
+   same decision from live demand — while the worker's own deque is deep
+   it chomps the range inline with zero deque traffic, and only when the
+   deque drains does it split off the top half for thieves.  Same loop,
+   same answer, radically fewer tasks. *)
+
+open Rpb_pool
+
+let n = 200_000
+let workers = 4
+
+(* A deliberately tiny body, so per-task overhead dominates: the shape of
+   hist's per-key increment, minus the mutex. *)
+let run_loop pool cells =
+  Pool.parallel_for pool ~grain:1 ~start:0 ~finish:n ~body:(fun i ->
+      let c = cells.(i land 0xff) in
+      Atomic.incr c)
+
+let race (policy : Pool.Policy.t) =
+  let pool = Pool.create ~policy ~num_workers:workers () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let cells = Array.init 256 (fun _ -> Atomic.make 0) in
+  let before = Pool.Stats.capture pool in
+  let t0 = Rpb_prim.Timing.monotonic_ns () in
+  Pool.run pool (fun () -> run_loop pool cells);
+  let t1 = Rpb_prim.Timing.monotonic_ns () in
+  let after = Pool.Stats.capture pool in
+  let d = Pool.Stats.diff ~before ~after in
+  let total = Array.fold_left (fun a c -> a + Atomic.get c) 0 cells in
+  assert (total = n);
+  (* every index hit exactly once *)
+  Printf.printf "  %-22s %10.3f ms   %8d tasks   %6d steals\n"
+    policy.Pool.Policy.name
+    (float_of_int (t1 - t0) /. 1e6)
+    (Pool.Stats.tasks_executed d)
+    (Pool.Stats.steals_ok d)
+
+let () =
+  Printf.printf
+    "grain=1 loop over %d indices, %d workers (tiny atomic-increment body):\n"
+    n workers;
+  (* Explicit ~grain:1 pins the leaf size; only the *splitter* differs.
+     Eager turns every leaf into a deque task; lazy only splits while
+     thieves show demand, so almost the whole range runs inline. *)
+  race Pool.Policy.default;
+  race Pool.Policy.lazy_split;
+  (* The probe policies force grain=1 on *defaulted* grains too — this is
+     what `make granularity-smoke` races on hist/sync. *)
+  race Pool.Policy.eager_grain1;
+  race Pool.Policy.lazy_grain1;
+  (* The second overhead lever: per-domain minor-heap sizing.  With a
+     boxed-accumulator reduction the allocation rate is real; a larger
+     minor heap trades space for fewer collections. *)
+  let sum_with ?minor_heap_kb () =
+    let pool = Pool.create ?minor_heap_kb ~num_workers:workers () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let t0 = Rpb_prim.Timing.monotonic_ns () in
+    let s =
+      Pool.run pool (fun () ->
+          Pool.parallel_for_reduce pool ~start:0 ~finish:n
+            ~body:(fun i -> float_of_int i)
+            ~init:0. ~combine:( +. ))
+    in
+    let t1 = Rpb_prim.Timing.monotonic_ns () in
+    (s, float_of_int (t1 - t0) /. 1e6)
+  in
+  let expect = float_of_int (n * (n - 1) / 2) in
+  let s1, ms1 = sum_with () in
+  let s2, ms2 = sum_with ~minor_heap_kb:8192 () in
+  assert (s1 = expect && s2 = expect);
+  Printf.printf
+    "float reduce: default minor heap %.3f ms, 8 MiB minor heap %.3f ms\n" ms1
+    ms2

@@ -19,8 +19,8 @@ type report = {
   metrics : Sp_dag.t;
 }
 
-let profile ?input ?(mode = Mode.Unsafe) ?ring_capacity ?policy ~bench
-    ~threads ~scale ~seed () =
+let profile ?input ?(mode = Mode.Unsafe) ?ring_capacity ?policy
+    ?minor_heap_kb ~bench ~threads ~scale ~seed () =
   match Registry.find bench with
   | None -> invalid_arg ("unknown benchmark " ^ bench)
   | Some e ->
@@ -31,7 +31,7 @@ let profile ?input ?(mode = Mode.Unsafe) ?ring_capacity ?policy ~bench
        for the emitted document (and seeds [Random] for any future benchmark
        that consults it). *)
     Random.init seed;
-    let pool = Pool.create ?policy ~num_workers:threads () in
+    let pool = Pool.create ?policy ?minor_heap_kb ~num_workers:threads () in
     Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
     Pool.run pool (fun () ->
         let prepared = e.Common.prepare pool ~input ~scale in

@@ -29,6 +29,7 @@ val profile :
   ?mode:Rpb_benchmarks.Mode.t ->
   ?ring_capacity:int ->
   ?policy:Rpb_pool.Pool.Policy.t ->
+  ?minor_heap_kb:int ->
   bench:string ->
   threads:int ->
   scale:int ->
@@ -40,6 +41,8 @@ val profile :
     parallel implementation — the one whose scaling the paper's tables
     question), [policy] to [Pool.Policy.default]; the policy name is stamped
     into the recording, the report, and the emitted document.
+    [minor_heap_kb], when given, sizes each worker domain's minor heap for
+    the profiled pool (see {!Rpb_pool.Pool.create}).
     @raise Invalid_argument on an unknown benchmark name. *)
 
 val summary : report -> string

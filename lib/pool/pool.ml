@@ -101,18 +101,38 @@ let counter_slots = 8
      on the last successful victim);
    - {e idle backoff shape} — [worker_loop] / [await] / [drain_scope]: spin
      budget, helper idle sleep, and the off-pool exponential backoff
-     bounds. *)
+     bounds;
+   - {e splitter} — [parallel_for] / [parallel_for_reduce]: eager fixed-grain
+     recursion down to the leaves, or lazy binary splitting that consults the
+     local deque depth and only publishes work when thieves have drained it
+     (plus the grain defaults themselves, [grain_factor] / [fixed_grain], so
+     a policy governs every splitter decision point). *)
 
 module Policy = struct
   type steal_amount = Steal_one | Steal_half
   type fork_order = Help_first | Work_first
   type victim_selection = Random_victim | Round_robin | Sticky
 
+  (* The {e splitter} decision point — how [parallel_for] /
+     [parallel_for_reduce] turn an index range into tasks.  [Eager_grain]
+     splits the range down to [grain]-sized leaves unconditionally (the
+     pre-policy behavior): the task count is fixed up front, whether or not
+     anyone is idle.  [Lazy_binary] auto-coarsens by demand: while the
+     executing worker's own deque holds more than [lazy_depth] unstolen
+     tasks (no thief needs work), it runs [grain]-sized chunks inline with
+     zero deque traffic; the moment the deque drains to [lazy_depth] or
+     below, it splits off the top half of the remaining range as one task
+     and keeps going on the bottom half. *)
+  type splitter = Eager_grain | Lazy_binary of { lazy_depth : int }
+
   type t = {
     name : string;
     steal_amount : steal_amount;
     fork_order : fork_order;
     victim_selection : victim_selection;
+    splitter : splitter;
+    grain_factor : int;
+    fixed_grain : int option;
     spin_budget : int;
     idle_sleep_s : float;
     backoff_min_s : float;
@@ -125,6 +145,9 @@ module Policy = struct
       steal_amount = Steal_one;
       fork_order = Help_first;
       victim_selection = Random_victim;
+      splitter = Eager_grain;
+      grain_factor = 8;
+      fixed_grain = None;
       spin_budget = 64;
       idle_sleep_s = 5e-5;
       backoff_min_s = 1e-6;
@@ -152,6 +175,35 @@ module Policy = struct
       steal_amount = Steal_half;
     }
 
+  (* Lazy splitting is only interesting when there is potential parallelism
+     left to refuse, so the lazy policies also raise [grain_factor]: leaves
+     get 16x finer than the default's ~8-per-worker target, and the
+     depth-triggered coarsening is what keeps that from costing 16x the
+     deque traffic.  ("lazy" is the registry name; the OCaml identifier
+     differs because [lazy] is a keyword.) *)
+  let lazy_split =
+    {
+      default with
+      name = "lazy";
+      splitter = Lazy_binary { lazy_depth = 2 };
+      grain_factor = 128;
+    }
+
+  let lazy_sticky =
+    { lazy_split with name = "lazy_sticky"; victim_selection = Sticky }
+
+  let lazy_steal_half =
+    { lazy_split with name = "lazy_steal_half"; steal_amount = Steal_half }
+
+  (* Granularity-sweep levers: force every defaulted grain to 1 so the two
+     splitters can be compared at the finest decomposition the API allows
+     (call sites that pass an explicit [?grain] keep it). *)
+  let eager_grain1 =
+    { default with name = "eager_grain1"; fixed_grain = Some 1 }
+
+  let lazy_grain1 =
+    { lazy_split with name = "lazy_grain1"; fixed_grain = Some 1 }
+
   let all =
     [
       default;
@@ -161,6 +213,11 @@ module Policy = struct
       round_robin;
       steal_half_sticky;
       work_first_steal_half;
+      lazy_split;
+      lazy_sticky;
+      lazy_steal_half;
+      eager_grain1;
+      lazy_grain1;
     ]
 
   let names () = List.map (fun p -> p.name) all
@@ -184,6 +241,10 @@ type t = {
   requested_workers : int;
   sched : sched;
   policy : Policy.t;
+  (* Per-domain minor-heap size in words ([create ?minor_heap_kb]); applied
+     by each worker domain at startup and by worker 0 for the duration of
+     [run].  [None] leaves the runtime default untouched. *)
+  minor_heap_words : int option;
   deques : task Ws_deque.t array;
   mutable domains : unit Domain.t array;
   injector : task Queue.t;
@@ -979,8 +1040,20 @@ let execute pool idx task =
   end
   else task ()
 
+(* Resize the calling domain's minor heap to the pool's configured size.
+   Returns the previous size so [run] can restore the caller's setting.  The
+   runtime normalizes out-of-range sizes itself. *)
+let apply_minor_heap pool =
+  match pool.minor_heap_words with
+  | None -> None
+  | Some words ->
+    let g = Gc.get () in
+    Gc.set { g with Gc.minor_heap_size = words };
+    Some g.Gc.minor_heap_size
+
 let worker_loop pool idx =
   Domain.DLS.get slot_key := Some (pool.id, idx);
+  ignore (apply_minor_heap pool);
   let rng = Rpb_prim.Rng.create (0x5EED + idx) in
   let c = pool.counters.(idx) in
   let spin_budget = pool.policy.Policy.spin_budget in
@@ -1038,8 +1111,12 @@ let spawn_worker pool idx =
   in
   attempt 1 0.001
 
-let make_pool ~num_workers ~sched ~policy =
+let make_pool ?minor_heap_kb ~num_workers ~sched ~policy () =
   if num_workers < 1 then invalid_arg "Pool.create: num_workers must be >= 1";
+  (match minor_heap_kb with
+   | Some kb when kb < 1 ->
+     invalid_arg "Pool.create: minor_heap_kb must be >= 1"
+   | _ -> ());
   let pool =
     {
       id = Atomic.fetch_and_add next_pool_id 1;
@@ -1047,6 +1124,8 @@ let make_pool ~num_workers ~sched ~policy =
       requested_workers = num_workers;
       sched;
       policy;
+      (* 64-bit words: 1 KB = 128 words. *)
+      minor_heap_words = Option.map (fun kb -> kb * 128) minor_heap_kb;
       deques = Array.init num_workers (fun _ -> Ws_deque.create ());
       domains = [||];
       injector = Queue.create ();
@@ -1076,12 +1155,13 @@ let make_pool ~num_workers ~sched ~policy =
   pool.num_workers <- Array.length pool.domains + 1;
   pool
 
-let create ?name:_ ?(policy = Policy.default) ~num_workers () =
-  make_pool ~num_workers ~sched:Ws ~policy
+let create ?name:_ ?(policy = Policy.default) ?minor_heap_kb ~num_workers () =
+  make_pool ?minor_heap_kb ~num_workers ~sched:Ws ~policy ()
 
 let create_deterministic ?(seed = 0) ?(shuffle = true) () =
   make_pool ~num_workers:1 ~policy:Policy.default
     ~sched:(Seq_det { rng = Rpb_prim.Rng.create (0xDE7 lxor seed); shuffle })
+    ()
 
 let deterministic pool =
   match pool.sched with Ws -> false | Seq_det _ -> true
@@ -1417,7 +1497,26 @@ let join pool f g =
              let b, a = ws_join_core pool scope my_idx f g in
              (a, b)))
 
-let default_grain (pool : pool) n = max 1 (n / (8 * pool.num_workers))
+(* Grain defaults are a policy decision like the splitter itself: a call
+   site that passes no [?grain] gets either the policy's forced grain
+   ([fixed_grain], the granularity-sweep lever) or the classic
+   leaves-per-worker target [n / (grain_factor * workers)].  The default
+   policy's [grain_factor = 8] reproduces the pre-policy constant. *)
+let default_grain (pool : pool) n =
+  match pool.policy.Policy.fixed_grain with
+  | Some g -> max 1 g
+  | None -> max 1 (n / (pool.policy.Policy.grain_factor * pool.num_workers))
+
+(* Demand sensing for the lazy splitter: the executing worker's own deque
+   depth.  Strictly more than [lazy_depth] pending local tasks means no
+   thief is keeping up with what we already published — keep running
+   inline.  A task never migrates mid-execution, but a *stolen* range
+   executes its [go] on the thief's domain, so the index is consulted per
+   call, not captured at the construct. *)
+let lazy_deque_deep (pool : pool) ~lazy_depth =
+  match my_index pool with
+  | Some w -> Ws_deque.size pool.deques.(w) > lazy_depth
+  | None -> false
 
 (* Leaf decomposition used by the deterministic executor: contiguous chunks
    of at most [grain] indices, visited in a seeded random order but ascending
@@ -1454,26 +1553,74 @@ let parallel_for ?grain ~start ~finish ~body pool =
       for i = start to finish - 1 do
         body i
       done
-    else
-      with_construct pool (fun scope ->
-          let rec go lo hi =
-            (* Check before descending: a failed scope stops splitting (and
-               skips this whole subtree) instead of running siblings of the
-               failed leaf to completion. *)
-            if Atomic.get scope.cancel_flag then scope_raise scope;
-            if hi - lo <= grain then
-              for i = lo to hi - 1 do
-                body i
-              done
-            else begin
-              let mid = lo + ((hi - lo) / 2) in
-              let ((), ()) =
-                join pool (fun () -> go lo mid) (fun () -> go mid hi)
-              in
-              ()
-            end
-          in
-          go start finish)
+    else begin
+      match pool.policy.Policy.splitter with
+      | Policy.Eager_grain ->
+        with_construct pool (fun scope ->
+            let rec go lo hi =
+              (* Check before descending: a failed scope stops splitting (and
+                 skips this whole subtree) instead of running siblings of the
+                 failed leaf to completion. *)
+              if Atomic.get scope.cancel_flag then scope_raise scope;
+              if hi - lo <= grain then
+                for i = lo to hi - 1 do
+                  body i
+                done
+              else begin
+                let mid = lo + ((hi - lo) / 2) in
+                let ((), ()) =
+                  join pool (fun () -> go lo mid) (fun () -> go mid hi)
+                in
+                ()
+              end
+            in
+            go start finish)
+      | Policy.Lazy_binary { lazy_depth } ->
+        with_construct pool (fun scope ->
+            let rec go lo hi =
+              if Atomic.get scope.cancel_flag then scope_raise scope;
+              if hi - lo <= grain then
+                for i = lo to hi - 1 do
+                  body i
+                done
+              else if lazy_deque_deep pool ~lazy_depth then begin
+                (* May-inline fast path: no thief demand, so consume
+                   [grain]-sized chunks with zero deque traffic.  The
+                   remainder [!lo, hi) lives only in this strand's frame —
+                   nothing is published until the split below pushes a task
+                   — so a thief can never observe, duplicate, or race any
+                   part of it.  At least one chunk is consumed before
+                   re-checking demand, which guarantees progress even if a
+                   thief drains the deque between the two depth reads. *)
+                let lo = ref lo in
+                let chomping = ref true in
+                while !chomping do
+                  if Atomic.get scope.cancel_flag then scope_raise scope;
+                  let stop = !lo + grain in
+                  for i = !lo to stop - 1 do
+                    body i
+                  done;
+                  lo := stop;
+                  if hi - !lo <= grain || not (lazy_deque_deep pool ~lazy_depth)
+                  then chomping := false
+                done;
+                (* Left-over range: a final sub-grain leaf, or — if the deque
+                   drained — back to the splitting path below. *)
+                if !lo < hi then go !lo hi
+              end
+              else begin
+                (* The deque drained to the demand threshold: split off the
+                   top half of the remaining range as one task and keep
+                   going on the bottom half. *)
+                let mid = lo + ((hi - lo) / 2) in
+                let ((), ()) =
+                  join pool (fun () -> go lo mid) (fun () -> go mid hi)
+                in
+                ()
+              end
+            in
+            go start finish)
+    end
   end
 
 let parallel_for_reduce ?grain ~start ~finish ~body ~combine ~init pool =
@@ -1508,20 +1655,61 @@ let parallel_for_reduce ?grain ~start ~finish ~body ~combine ~init pool =
     | Seq_det { shuffle = false; _ } -> leaf start finish
     | Ws ->
     if pool.num_workers = 1 || my_index pool = None then leaf start finish
-    else
-      with_construct pool (fun scope ->
-          let rec go lo hi =
-            if Atomic.get scope.cancel_flag then scope_raise scope;
-            if hi - lo <= grain then leaf lo hi
-            else begin
-              let mid = lo + ((hi - lo) / 2) in
-              let a, b =
-                join pool (fun () -> go lo mid) (fun () -> go mid hi)
-              in
-              combine a b
-            end
-          in
-          go start finish)
+    else begin
+      match pool.policy.Policy.splitter with
+      | Policy.Eager_grain ->
+        with_construct pool (fun scope ->
+            let rec go lo hi =
+              if Atomic.get scope.cancel_flag then scope_raise scope;
+              if hi - lo <= grain then leaf lo hi
+              else begin
+                let mid = lo + ((hi - lo) / 2) in
+                let a, b =
+                  join pool (fun () -> go lo mid) (fun () -> go mid hi)
+                in
+                combine a b
+              end
+            in
+            go start finish)
+      | Policy.Lazy_binary { lazy_depth } ->
+        (* Same adaptive shape as [parallel_for]'s lazy path, threading an
+           accumulator through the inline chunks.  The combine tree is
+           left-leaning along the fast path instead of balanced; since
+           [combine] is associative (the documented contract, which eager
+           splitting already leans on — its tree shape moves with [grain]),
+           the result is unchanged. *)
+        with_construct pool (fun scope ->
+            let rec go lo hi =
+              if Atomic.get scope.cancel_flag then scope_raise scope;
+              if hi - lo <= grain then leaf lo hi
+              else if lazy_deque_deep pool ~lazy_depth then begin
+                (* [hi - lo > grain] on entry, so the unconditional first
+                   chunk stays in range and guarantees progress; the loop
+                   invariant [!lo < hi] holds because chunks are only
+                   consumed while [hi - !lo > grain]. *)
+                let acc = ref (leaf lo (lo + grain)) in
+                let lo = ref (lo + grain) in
+                while
+                  hi - !lo > grain && lazy_deque_deep pool ~lazy_depth
+                do
+                  if Atomic.get scope.cancel_flag then scope_raise scope;
+                  let stop = !lo + grain in
+                  acc := combine !acc (leaf !lo stop);
+                  lo := stop
+                done;
+                if hi - !lo <= grain then combine !acc (leaf !lo hi)
+                else combine !acc (go !lo hi)
+              end
+              else begin
+                let mid = lo + ((hi - lo) / 2) in
+                let a, b =
+                  join pool (fun () -> go lo mid) (fun () -> go mid hi)
+                in
+                combine a b
+              end
+            in
+            go start finish)
+    end
   end
 
 let parallel_chunks ?grain ~start ~finish ~body pool =
@@ -1589,6 +1777,10 @@ let run ?deadline pool f =
   Atomic.set pool.scope (new_scope ?deadline ());
   let slot = Domain.DLS.get slot_key in
   slot := Some (pool.id, 0);
+  (* The caller is worker 0 for the duration of the run: give it the pool's
+     per-domain minor heap too, and put the caller's own setting back in
+     [finish] so the sizing never leaks past the run. *)
+  let saved_minor_heap = apply_minor_heap pool in
   let watchdog = Option.map (start_watchdog pool) deadline in
   (* Leave no task of this run behind: whether [f] returns or raises, every
      outstanding promise of the run's current scope is resolved before
@@ -1603,6 +1795,9 @@ let run ?deadline pool f =
      | Some (stop, d) ->
        Atomic.set stop true;
        Domain.join d);
+    (match saved_minor_heap with
+     | None -> ()
+     | Some words -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = words });
     slot := None;
     Atomic.set pool.scope (new_scope ());
     Atomic.set pool.running false;

@@ -104,11 +104,36 @@ module Policy : sig
     | Round_robin  (** sweep starts after the last successful victim *)
     | Sticky  (** sweep starts at the last successful victim *)
 
+  type splitter =
+    | Eager_grain
+        (** {!parallel_for} / {!parallel_for_reduce} split recursively down
+            to [grain]-sized leaves unconditionally — the pre-policy
+            behavior: the task count is fixed up front, idle thieves or
+            not. *)
+    | Lazy_binary of { lazy_depth : int }
+        (** Adaptive (lazy binary) splitting: while the executing worker's
+            own deque holds more than [lazy_depth] unstolen tasks — i.e. no
+            thief demand — the splitter runs [grain]-sized chunks inline
+            with zero deque traffic (the may-inline fast path); when the
+            deque drains to [lazy_depth] or below, it splits off the top
+            half of the remaining range as one task and continues on the
+            bottom half.  Fine grains stop costing fork-join overhead
+            unless the parallelism is actually consumed. *)
+
   type t = {
     name : string;  (** registry key; stamped into all telemetry *)
     steal_amount : steal_amount;
     fork_order : fork_order;
     victim_selection : victim_selection;
+    splitter : splitter;
+    grain_factor : int;
+        (** leaves-per-worker target behind the default grain: a call site
+            passing no [?grain] gets [max 1 (n / (grain_factor * workers))].
+            The default policy's [8] is the pre-policy constant. *)
+    fixed_grain : int option;
+        (** when [Some g], every defaulted grain becomes [g] regardless of
+            [grain_factor] — the granularity-sweep lever.  Explicit
+            call-site [?grain] arguments still win. *)
     spin_budget : int;  (** spins before a worker sleeps / a waiter backs off *)
     idle_sleep_s : float;  (** helper's sleep when out of work under [await] *)
     backoff_min_s : float;  (** off-pool waiter's initial poll interval *)
@@ -116,8 +141,9 @@ module Policy : sig
   }
 
   val default : t
-  (** Steal-one, help-first, random victims, spin budget 64, 50 µs helper
-      sleep, 1 µs → 1 ms off-pool backoff: bit-for-bit today's scheduler. *)
+  (** Steal-one, help-first, random victims, eager grain-8-per-worker
+      splitting, spin budget 64, 50 µs helper sleep, 1 µs → 1 ms off-pool
+      backoff: bit-for-bit the pre-policy scheduler. *)
 
   val steal_half : t
   val work_first : t
@@ -125,6 +151,23 @@ module Policy : sig
   val round_robin : t
   val steal_half_sticky : t
   val work_first_steal_half : t
+
+  val lazy_split : t
+  (** Registry name ["lazy"] ([lazy] is an OCaml keyword): lazy binary
+      splitting with [lazy_depth = 2] and a 16x finer default-grain target
+      ([grain_factor = 128]) — the depth-triggered coarsening is what keeps
+      the finer leaves from costing 16x the deque traffic. *)
+
+  val lazy_sticky : t
+  val lazy_steal_half : t
+
+  val eager_grain1 : t
+  (** Eager splitting with every defaulted grain forced to 1 — the
+      worst-case fork-join overhead end of the granularity sweep. *)
+
+  val lazy_grain1 : t
+  (** Lazy splitting with every defaulted grain forced to 1 — same leaf
+      decomposition as {!eager_grain1}, adaptively coarsened. *)
 
   val all : t list
   (** The named-policy registry, [default] first. *)
@@ -135,7 +178,9 @@ module Policy : sig
   (** Look a policy up by {!t.name}. *)
 end
 
-val create : ?name:string -> ?policy:Policy.t -> num_workers:int -> unit -> t
+val create :
+  ?name:string -> ?policy:Policy.t -> ?minor_heap_kb:int ->
+  num_workers:int -> unit -> t
 (** [create ~num_workers ()] spawns [num_workers - 1] worker domains; the
     domain that later calls {!run} acts as the remaining worker.
     [num_workers] must be at least 1.  With [num_workers = 1] every operation
@@ -143,6 +188,15 @@ val create : ?name:string -> ?policy:Policy.t -> num_workers:int -> unit -> t
 
     [?policy] (default {!Policy.default}) fixes the scheduling policy for the
     pool's lifetime; see {!Policy}.
+
+    [?minor_heap_kb] sizes each worker domain's minor heap (in KB; must be
+    at least 1 — the runtime normalizes sizes below its own minimum).  The
+    calling domain gets the same sizing for the duration of each {!run} and
+    its previous setting back afterwards.  Per-worker [Gc] deltas in
+    {!Recorder} [Gc_sample] events make the effect observable: it is the
+    second scheduler-overhead lever next to {!Policy.t.splitter}, trading
+    minor-collection frequency against cache footprint on allocation-heavy
+    parallel loops.  Omitted = runtime default, untouched.
 
     Graceful degradation: if [Domain.spawn] fails (resource exhaustion), the
     attempt is retried with capped backoff and, if it keeps failing, the pool
@@ -223,16 +277,23 @@ val join : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 
 val parallel_for : ?grain:int -> start:int -> finish:int -> body:(int -> unit) -> t -> unit
 (** [parallel_for ~start ~finish ~body pool] applies [body] to every index in
-    the half-open range [\[start, finish)], splitting recursively until ranges
-    are at most [grain] long.  The default grain targets ~8 leaves per
-    worker.  The pool comes last (domainslib convention) so that the optional
+    the half-open range [\[start, finish)], decomposing according to the
+    pool policy's {!Policy.t.splitter}: eager recursion down to
+    [grain]-sized leaves, or lazy demand-driven splitting that runs
+    [grain]-sized chunks inline while no thief needs work.  When [?grain]
+    is omitted the policy supplies it ({!Policy.t.grain_factor} /
+    {!Policy.t.fixed_grain}; the default targets ~8 leaves per worker).
+    The pool comes last (domainslib convention) so that the optional
     [?grain] can be erased. *)
 
 val parallel_for_reduce :
   ?grain:int -> start:int -> finish:int ->
   body:(int -> 'a) -> combine:('a -> 'a -> 'a) -> init:'a -> t -> 'a
-(** Tree-shaped map-reduce over an index range.  [combine] must be
-    associative; [init] must be its identity on the left of any leaf result. *)
+(** Tree-shaped map-reduce over an index range; grain and splitter are
+    policy-governed exactly as in {!parallel_for}.  [combine] must be
+    associative; [init] must be its identity on the left of any leaf result.
+    (The lazy splitter's combine tree leans left along its inline fast path
+    — associativity is what makes that unobservable.) *)
 
 val parallel_chunks :
   ?grain:int -> start:int -> finish:int -> body:(int -> int -> unit) -> t -> unit

@@ -478,6 +478,44 @@ let test_fault_sweep_steal_half_policy () =
       Alcotest.failf "steal_half under faults:\n%s"
         (Oracle.fault_summary report)
 
+(* The lazy splitter through the front door of `rpb check`: the oracle's
+   pool executor under the "lazy" registry policy must match the
+   deterministic reference digests on benchmarks from both ends of the fear
+   spectrum.  (The every-policy sweep above covers this too; this case
+   pins the name so a registry rename cannot silently drop the coverage.) *)
+let test_oracle_clean_under_lazy () =
+  match Pool.Policy.find "lazy" with
+  | None -> Alcotest.fail "lazy policy missing from the registry"
+  | Some policy ->
+    List.iter
+      (fun bench ->
+        let report =
+          Oracle.run ~threads:3 ~scale:0 ~bench ~policy ~seed:23 ()
+        in
+        if not (Oracle.ok report) then
+          Alcotest.failf "lazy splitter fails the oracle on %s:\n%s" bench
+            (Oracle.summary report))
+      [ "sort"; "sa"; "hist" ]
+
+(* The may-inline fast path under injected task exceptions, steal delays
+   and degraded spawns, across three benchmarks: a chunk that raises
+   mid-chomp must cancel the scope exactly like an eager leaf, and the
+   published half-ranges must drain under the failure-semantics contract. *)
+let test_fault_sweep_lazy_policy () =
+  match Pool.Policy.find "lazy" with
+  | None -> Alcotest.fail "lazy policy missing from the registry"
+  | Some policy ->
+    List.iter
+      (fun bench ->
+        let report =
+          Oracle.fault_sweep ~threads:3 ~scale:0 ~deadline:20. ~bench ~policy
+            ~seed:29 ()
+        in
+        if not (Oracle.fault_ok report) then
+          Alcotest.failf "lazy splitter under faults on %s:\n%s" bench
+            (Oracle.fault_summary report))
+      [ "sort"; "sa"; "hist" ]
+
 let test_fault_sweep_json_fields () =
   let report = Oracle.fault_sweep ~threads:2 ~scale:0 ~bench:"sort" ~seed:1 () in
   let module J = Rpb_benchmarks.Bench_json in
@@ -551,6 +589,8 @@ let () =
             test_oracle_report_json_roundtrip_fields;
           Alcotest.test_case "clean under every policy" `Quick
             test_oracle_clean_under_every_policy;
+          Alcotest.test_case "clean under lazy splitting" `Quick
+            test_oracle_clean_under_lazy;
           Alcotest.test_case "order sensitivity exposed" `Quick
             test_oracle_detects_order_sensitivity;
         ] );
@@ -562,6 +602,8 @@ let () =
             test_fault_sweep_deterministic;
           Alcotest.test_case "steal_half under faults" `Quick
             test_fault_sweep_steal_half_policy;
+          Alcotest.test_case "lazy splitter under faults (3 benches)" `Quick
+            test_fault_sweep_lazy_policy;
           Alcotest.test_case "json fields" `Quick test_fault_sweep_json_fields;
         ] );
     ]

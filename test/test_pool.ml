@@ -747,10 +747,81 @@ let test_policy_default_is_prepolicy_constants () =
     (d.Policy.fork_order = Policy.Help_first);
   Alcotest.(check bool) "random victim" true
     (d.Policy.victim_selection = Policy.Random_victim);
+  (* The splitter/grain fields joined the record later; the default must
+     still decompose exactly as the pre-policy code did — eager recursion
+     with grain = max 1 (n / (8 * workers)), no forced grain. *)
+  Alcotest.(check bool) "eager splitter" true
+    (d.Policy.splitter = Policy.Eager_grain);
+  Alcotest.(check int) "grain factor" 8 d.Policy.grain_factor;
+  Alcotest.(check bool) "no fixed grain" true (d.Policy.fixed_grain = None);
   Alcotest.(check int) "spin budget" 64 d.Policy.spin_budget;
   Alcotest.(check (float 0.)) "idle sleep" 5e-5 d.Policy.idle_sleep_s;
   Alcotest.(check (float 0.)) "backoff min" 1e-6 d.Policy.backoff_min_s;
   Alcotest.(check (float 0.)) "backoff max" 1e-3 d.Policy.backoff_max_s
+
+(* The lazy registry entries: name/identifier split ("lazy" is a keyword),
+   and the splitter actually set. *)
+let test_policy_lazy_registry_entries () =
+  let module Policy = Pool.Policy in
+  Alcotest.(check string) "lazy_split is named lazy" "lazy"
+    Policy.lazy_split.Policy.name;
+  List.iter
+    (fun (p : Policy.t) ->
+      match p.Policy.splitter with
+      | Policy.Lazy_binary { lazy_depth } ->
+        Alcotest.(check bool)
+          (p.Policy.name ^ ": sensible depth threshold")
+          true (lazy_depth >= 0)
+      | Policy.Eager_grain ->
+        Alcotest.failf "%s should use Lazy_binary" p.Policy.name)
+    [ Policy.lazy_split; Policy.lazy_sticky; Policy.lazy_steal_half;
+      Policy.lazy_grain1 ];
+  Alcotest.(check bool) "eager_grain1 forces grain 1" true
+    (Policy.eager_grain1.Policy.fixed_grain = Some 1
+    && Policy.eager_grain1.Policy.splitter = Policy.Eager_grain);
+  Alcotest.(check bool) "lazy_grain1 forces grain 1" true
+    (Policy.lazy_grain1.Policy.fixed_grain = Some 1)
+
+(* An explicit call-site grain must beat [fixed_grain]: with n = finish and
+   ~grain:n the loop may not split at all, which code can (and does) rely on
+   for single-leaf regions. *)
+let test_policy_fixed_grain_respects_explicit_grain () =
+  match Pool.Policy.find "eager_grain1" with
+  | None -> Alcotest.fail "eager_grain1 missing from the registry"
+  | Some policy ->
+    let pool = Pool.create ~policy ~num_workers:4 () in
+    Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+    let before = Pool.Stats.tasks_executed (Pool.Stats.capture pool) in
+    Pool.run pool (fun () ->
+        Pool.parallel_for ~grain:4096 ~start:0 ~finish:4096
+          ~body:(fun _ -> ())
+          pool);
+    let after = Pool.Stats.tasks_executed (Pool.Stats.capture pool) in
+    Alcotest.(check int) "whole-range explicit grain spawns no task" 0
+      (after - before)
+
+(* [?minor_heap_kb]: the sizing must be visible inside [run] (the caller is
+   worker 0), restored afterwards, validated, and must not change any
+   result. *)
+let test_minor_heap_sizing () =
+  let outside = (Gc.get ()).Gc.minor_heap_size in
+  let pool = Pool.create ~minor_heap_kb:8192 ~num_workers:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let inside, sum =
+    Pool.run pool (fun () ->
+        ( (Gc.get ()).Gc.minor_heap_size,
+          Pool.parallel_for_reduce ~start:0 ~finish:100_000 ~body:Fun.id
+            ~combine:( + ) ~init:0 pool ))
+  in
+  (* 8192 KB = 2^20 words on 64-bit; the runtime may normalize upward but
+     never below the request. *)
+  Alcotest.(check bool) "resized inside run" true (inside >= 1 lsl 20);
+  Alcotest.(check int) "restored after run" outside
+    ((Gc.get ()).Gc.minor_heap_size);
+  Alcotest.(check int) "result unchanged" (100_000 * 99_999 / 2) sum;
+  Alcotest.check_raises "kb < 1 rejected"
+    (Invalid_argument "Pool.create: minor_heap_kb must be >= 1") (fun () ->
+      ignore (Pool.create ~minor_heap_kb:0 ~num_workers:1 ()))
 
 (* Every named policy must compute identical results through the public API:
    a steal-heavy grain-1 reduce, join's (f result, g result) order — which is
@@ -829,6 +900,12 @@ let () =
           Alcotest.test_case "registry" `Quick test_policy_registry;
           Alcotest.test_case "default = pre-policy constants" `Quick
             test_policy_default_is_prepolicy_constants;
+          Alcotest.test_case "lazy registry entries" `Quick
+            test_policy_lazy_registry_entries;
+          Alcotest.test_case "explicit grain beats fixed_grain" `Quick
+            test_policy_fixed_grain_respects_explicit_grain;
+          Alcotest.test_case "minor heap sizing" `Quick
+            test_minor_heap_sizing;
           Alcotest.test_case "all policies compute the same" `Quick
             test_policy_pools_agree;
         ] );
