@@ -1,6 +1,6 @@
 .PHONY: all build typecheck test bench examples doc clean check-race check-fault \
 	profile-smoke compare-smoke report-smoke perf-gate save-baseline \
-	policy-race-smoke granularity-smoke
+	policy-race-smoke granularity-smoke serve-smoke
 
 all: build
 
@@ -107,6 +107,24 @@ granularity-smoke:
 	  --policy eager_grain1 --json PROFILE_grain_eager.json
 	dune exec bin/rpb.exe -- profile --bench hist --mode sync --threads 4 --scale 0 \
 	  --policy lazy_grain1 --json PROFILE_grain_lazy.json
+
+# CI serve-smoke job: boot the request server in-process and drive it with
+# the chaos load generator — a forced-overload burst (32 back-to-back spin
+# requests against an admission bound of 16, so load shedding must engage)
+# plus mid-request client kills and reconnects.  loadgen exits 4 unless
+# every request is accounted for (no lost or duplicate replies), no reply
+# is malformed, and repeated runs of the same instance agree on the digest.
+# Both kind="serve" artifacts feed the dashboard's latency section.  The
+# outer timeout is the hang detector of last resort.
+serve-smoke:
+	timeout 300 dune exec bin/rpb.exe -- loadgen --boot \
+	  --socket /tmp/rpb-serve-smoke.sock \
+	  --clients 4 -n 12 --bench hist,sort --bench spin --spin-ms 25 \
+	  --burst 32 --max-queue 16 --kill-every 9 --seed 42 \
+	  --json SERVE_loadgen.json --server-json SERVE_server.json
+	dune exec bin/rpb.exe -- report SERVE_loadgen.json SERVE_server.json \
+	  -o REPORT_serve.html --md REPORT_serve.md
+	test -s REPORT_serve.md
 
 # Refresh the committed baseline store from this machine (then commit the
 # changed bench/baselines/*.json).

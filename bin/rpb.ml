@@ -14,6 +14,17 @@
 open Cmdliner
 open Rpb_benchmarks
 
+(* Exit-code contract, uniform across subcommands (documented in the man
+   page and README): 0 success; 2 usage error (bad flags, unknown
+   benchmark/policy, unreadable artifacts); 3 perf gate failed (compare
+   regression); 4 correctness/robustness violation (failed verification,
+   oracle or fault-sweep violation, loadgen lost replies or digest
+   mismatches). *)
+let exit_ok = 0
+let exit_usage = 2
+let exit_gate = 3
+let exit_violation = 4
+
 let mode_conv =
   Arg.conv
     ( (fun s ->
@@ -53,7 +64,7 @@ let run_one ~name ~input ~scale ~threads ~mode ~repeats ~seq =
   match Registry.find name with
   | None ->
     Printf.eprintf "unknown benchmark %s (try `rpb list`)\n" name;
-    1
+    exit_usage
   | Some e ->
     let input =
       match input with
@@ -83,7 +94,7 @@ let run_one ~name ~input ~scale ~threads ~mode ~repeats ~seq =
           (if seq then "seq" else "mode=" ^ Mode.name mode)
           threads scale t
           (if ok then "verified" else "VERIFICATION FAILED");
-        if ok then 0 else 2)
+        if ok then exit_ok else exit_violation)
 
 let list_cmd =
   let doc = "List the 14 RPB benchmarks with their inputs and patterns." in
@@ -257,10 +268,10 @@ let check_run ~seed ~bench ~threads ~scale ~policy ~json =
      | Some path ->
        Rpb_check.Oracle.write_json ~path report;
        Printf.printf "wrote check report to %s\n" path);
-    if Rpb_check.Oracle.ok report then 0 else 2
+    if Rpb_check.Oracle.ok report then exit_ok else exit_violation
   | exception Invalid_argument msg ->
     Printf.eprintf "%s (try `rpb list`)\n" msg;
-    1
+    exit_usage
 
 let check_cmd =
   let doc =
@@ -304,10 +315,10 @@ let faults_run ~seed ~bench ~threads ~scale ~deadline ~policy ~json =
      | Some path ->
        Rpb_check.Oracle.write_fault_json ~path report;
        Printf.printf "wrote fault report to %s\n" path);
-    if Rpb_check.Oracle.fault_ok report then 0 else 2
+    if Rpb_check.Oracle.fault_ok report then exit_ok else exit_violation
   | exception Invalid_argument msg ->
     Printf.eprintf "%s (try `rpb list`)\n" msg;
-    1
+    exit_usage
 
 let faults_cmd =
   let doc =
@@ -358,10 +369,10 @@ let profile_run ~bench ~input ~mode ~threads ~scale ~seed ~policy
      | Some path ->
        Rpb_obs.Profile.write_json ~path r;
        Printf.printf "\nwrote profile document to %s\n" path);
-    if r.Rpb_obs.Profile.verified then 0 else 2
+    if r.Rpb_obs.Profile.verified then exit_ok else exit_violation
   | exception Invalid_argument msg ->
     Printf.eprintf "%s (try `rpb list`)\n" msg;
-    1
+    exit_usage
 
 let profile_cmd =
   let doc =
@@ -410,7 +421,7 @@ let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy
   if missing <> [] then begin
     Printf.eprintf "unknown benchmark %s (try `rpb list`)\n"
       (String.concat ", " missing);
-    1
+    exit_usage
   end
   else begin
     let records = ref [] in
@@ -466,7 +477,7 @@ let bench_run ~name ~input ~scale ~threads ~repeats ~mode ~policy
      | Some dir ->
        let paths = Rpb_obs.Baseline.save ~dir records in
        Printf.printf "baseline store updated: %s\n" (String.concat ", " paths));
-    if !failed then 2 else 0
+    if !failed then exit_violation else exit_ok
   end
 
 let bench_cmd =
@@ -527,10 +538,10 @@ let compare_run ~old_path ~new_path ~threshold ~alpha ~noise_mult ~seed ~json =
   with
   | exception Sys_error msg ->
     Printf.eprintf "compare: %s\n" msg;
-    1
+    exit_usage
   | exception Bench_json.Parse_error msg ->
     Printf.eprintf "compare: parse error: %s\n" msg;
-    1
+    exit_usage
   | baseline, current ->
     let r =
       Rpb_obs.Baseline.compare_records ~threshold ~alpha ~noise_mult ~seed
@@ -542,7 +553,7 @@ let compare_run ~old_path ~new_path ~threshold ~alpha ~noise_mult ~seed ~json =
      | Some path ->
        Rpb_obs.Baseline.write_json ~path r;
        Printf.printf "wrote comparison document to %s\n" path);
-    if Rpb_obs.Baseline.ok r then 0 else 3
+    if Rpb_obs.Baseline.ok r then exit_ok else exit_gate
 
 let compare_cmd =
   let doc =
@@ -597,6 +608,362 @@ let compare_cmd =
     Term.(const run $ old_arg $ new_arg $ threshold $ alpha $ noise_mult
           $ seed $ json)
 
+(* ---- serve / loadgen: the fault-tolerant request server ---- *)
+
+(* Policy as a validated NAME (the serve path resolves names to pools per
+   request, so the CLI carries strings, not Policy.t values). *)
+let policy_name_conv =
+  let module Policy = Rpb_pool.Pool.Policy in
+  Arg.conv
+    ( (fun s ->
+        if Policy.find s <> None then Ok s
+        else
+          Error
+            (`Msg
+               (Printf.sprintf "unknown policy %s (have: %s)" s
+                  (String.concat ", " (Policy.names ()))))),
+      Format.pp_print_string )
+
+let default_socket () =
+  Printf.sprintf "%s/rpb-serve-%d.sock"
+    (Filename.get_temp_dir_name ())
+    (Unix.getpid ())
+
+(* "bench", "bench:input", "bench:input:scale" ("" input = default). *)
+let parse_preload spec =
+  match String.split_on_char ':' spec with
+  | [ b ] -> Ok (b, None, 0)
+  | [ b; i ] -> Ok (b, (if i = "" then None else Some i), 0)
+  | [ b; i; s ] -> (
+    match int_of_string_opt s with
+    | Some scale -> Ok (b, (if i = "" then None else Some i), scale)
+    | None -> Error (Printf.sprintf "bad preload scale in %S" spec))
+  | _ -> Error (Printf.sprintf "bad preload spec %S (BENCH[:INPUT[:SCALE]])" spec)
+
+let parse_preloads specs =
+  List.fold_left
+    (fun acc spec ->
+      match (acc, parse_preload spec) with
+      | Error e, _ -> Error e
+      | _, Error e -> Error e
+      | Ok l, Ok p -> Ok (l @ [ p ]))
+    (Ok []) specs
+
+let serve_run ~socket ~threads ~policy ~max_queue ~drain_grace ~scale_cap
+    ~preload ~json ~quiet =
+  let module Serve = Rpb_serve.Serve in
+  match parse_preloads preload with
+  | Error msg ->
+    Printf.eprintf "serve: %s\n" msg;
+    exit_usage
+  | Ok preload -> (
+    let cfg =
+      {
+        Serve.socket_path = socket;
+        threads;
+        policy;
+        max_queue;
+        drain_grace_s = drain_grace;
+        scale_cap;
+        preload;
+        json_path = json;
+        quiet;
+      }
+    in
+    match Serve.start cfg with
+    | Error msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      exit_usage
+    | Ok t ->
+      let stop_flag = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+      (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+      if not quiet then
+        Printf.eprintf "serve: SIGINT/SIGTERM drains and exits\n%!";
+      while not (Atomic.get stop_flag) do
+        try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Serve.stop t;
+      exit_ok)
+
+let serve_cmd =
+  let doc =
+    "Serve benchmark jobs over a Unix-domain socket: one shared \
+     work-stealing pool per requested policy, a bounded admission queue \
+     with overload shedding, per-request deadlines on the shared timer \
+     wheel, cooperative cancellation on client disconnect, and graceful \
+     drain on SIGTERM/SIGINT.  Structured error replies (overloaded, \
+     stalled, cancelled, malformed, ...) never kill the process or poison \
+     a pool."
+  in
+  let socket =
+    Arg.(value & opt string (default_socket ())
+         & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+  in
+  let threads =
+    Arg.(value & opt int 4
+         & info [ "threads"; "t" ] ~docv:"P" ~doc:"workers per pool")
+  in
+  let policy =
+    Arg.(value & opt policy_name_conv "default"
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"pool policy for requests that do not name one")
+  in
+  let max_queue =
+    Arg.(value & opt int 16
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"admission bound on queued + in-flight requests; past it, \
+                   requests are shed with an overloaded reply and a \
+                   retry-after hint")
+  in
+  let drain_grace =
+    Arg.(value & opt float 2.0
+         & info [ "drain-grace" ] ~docv:"SECONDS"
+             ~doc:"how long drain lets the in-flight request finish before \
+                   cancelling it")
+  in
+  let scale_cap =
+    Arg.(value & opt int 6
+         & info [ "scale-cap" ] ~docv:"S" ~doc:"reject requests above this \
+                                                scale")
+  in
+  let preload =
+    Arg.(value & opt_all string []
+         & info [ "preload" ] ~docv:"BENCH[:INPUT[:SCALE]]"
+             ~doc:"prepare an instance at startup (repeatable)")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"write the kind=serve stats artifact at drain")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ]) in
+  let run socket threads policy max_queue drain_grace scale_cap preload json
+      quiet =
+    exit
+      (serve_run ~socket ~threads ~policy ~max_queue ~drain_grace ~scale_cap
+         ~preload ~json ~quiet)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket $ threads $ policy $ max_queue $ drain_grace
+          $ scale_cap $ preload $ json $ quiet)
+
+let loadgen_run ~socket ~boot ~server_threads ~server_policy ~max_queue
+    ~server_json ~clients ~requests ~seed ~mean_gap_ms ~benches ~mode ~scale
+    ~policies ~deadline_ms ~spin_ms ~burst ~kill_every ~max_retries
+    ~backoff_base_ms ~backoff_cap_ms ~wait_cap_s ~json ~quiet =
+  let module Serve = Rpb_serve.Serve in
+  let module Loadgen = Rpb_serve.Loadgen in
+  let server =
+    if not boot then Ok None
+    else begin
+      let preload =
+        List.filter_map
+          (fun b -> if b = "spin" then None else Some (b, None, scale))
+          benches
+      in
+      let cfg =
+        {
+          (Serve.default_config ~socket_path:socket) with
+          threads = server_threads;
+          policy = server_policy;
+          max_queue;
+          preload;
+          json_path = server_json;
+          quiet;
+        }
+      in
+      match Serve.start cfg with
+      | Error msg ->
+        Printf.eprintf "loadgen: boot: %s\n" msg;
+        Error exit_usage
+      | Ok t -> Ok (Some t)
+    end
+  in
+  match server with
+  | Error code -> code
+  | Ok server -> (
+    let finish code =
+      (match server with Some t -> Serve.stop t | None -> ());
+      code
+    in
+    let cfg =
+      {
+        Loadgen.socket_path = socket;
+        clients;
+        requests_per_client = requests;
+        seed;
+        mean_gap_ms;
+        benches;
+        mode;
+        scale;
+        policies;
+        deadline_ms;
+        spin_ms;
+        burst;
+        kill_every;
+        max_retries;
+        backoff_base_ms;
+        backoff_cap_ms;
+        wait_cap_s;
+        json_path = json;
+        quiet = true;
+      }
+    in
+    match Loadgen.run cfg with
+    | Error msg ->
+      Printf.eprintf "loadgen: %s\n" msg;
+      finish exit_usage
+    | Ok r ->
+      List.iter print_endline (Loadgen.summary_lines r);
+      (match json with
+       | Some path -> Printf.printf "wrote loadgen artifact to %s\n" path
+       | None -> ());
+      let violated =
+        r.Loadgen.lost > 0
+        || r.Loadgen.protocol_errors > 0
+        || r.Loadgen.digest_mismatches > 0
+        || Loadgen.accounted r <> r.Loadgen.sent
+        || r.Loadgen.ok = 0
+      in
+      if violated then begin
+        Printf.eprintf
+          "loadgen: robustness violation (lost=%d proto_err=%d \
+           digest_mismatch=%d accounted=%d sent=%d ok=%d)\n"
+          r.Loadgen.lost r.Loadgen.protocol_errors
+          r.Loadgen.digest_mismatches (Loadgen.accounted r) r.Loadgen.sent
+          r.Loadgen.ok;
+        finish exit_violation
+      end
+      else finish exit_ok)
+
+let loadgen_cmd =
+  let doc =
+    "Drive an rpb server with seeded open-loop load: multiple client \
+     connections, exponential arrivals, jittered exponential retry/backoff \
+     on overload sheds, optional kill/reconnect chaos, and a latency \
+     percentile report.  Exits 4 when any reply is lost, duplicated, \
+     malformed, or carries a digest that disagrees with another run of the \
+     same instance."
+  in
+  let socket =
+    Arg.(value & opt string (default_socket ())
+         & info [ "socket" ] ~docv:"PATH" ~doc:"server socket path")
+  in
+  let boot =
+    Arg.(value & flag
+         & info [ "boot" ]
+             ~doc:"start an in-process server on $(b,--socket) first and \
+                   drain it afterwards (single-command smoke runs)")
+  in
+  let server_threads =
+    Arg.(value & opt int 4
+         & info [ "server-threads" ] ~docv:"P" ~doc:"pool workers for \
+                                                     $(b,--boot)")
+  in
+  let server_policy =
+    Arg.(value & opt policy_name_conv "default"
+         & info [ "server-policy" ] ~docv:"POLICY" ~doc:"default policy for \
+                                                         $(b,--boot)")
+  in
+  let max_queue =
+    Arg.(value & opt int 16
+         & info [ "max-queue" ] ~docv:"N" ~doc:"admission bound for \
+                                                $(b,--boot)")
+  in
+  let server_json =
+    Arg.(value & opt (some string) None
+         & info [ "server-json" ] ~docv:"FILE"
+             ~doc:"server-side kind=serve artifact for $(b,--boot)")
+  in
+  let clients = Arg.(value & opt int 4 & info [ "clients"; "c" ] ~docv:"N") in
+  let requests =
+    Arg.(value & opt int 16
+         & info [ "requests"; "n" ] ~docv:"N" ~doc:"requests per client")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N") in
+  let mean_gap_ms =
+    Arg.(value & opt int 10
+         & info [ "mean-gap-ms" ] ~docv:"MS"
+             ~doc:"mean exponential inter-arrival gap per client")
+  in
+  let benches =
+    Arg.(value & opt_all (list string) [ [ "hist" ] ]
+         & info [ "bench"; "b" ] ~docv:"BENCH,.."
+             ~doc:"benchmark mix, cycled per request (`spin` allowed)")
+  in
+  let mode =
+    Arg.(value & opt mode_conv Mode.Unsafe
+         & info [ "mode"; "m" ] ~docv:"MODE" ~doc:"unsafe | checked | sync")
+  in
+  let scale = Arg.(value & opt int 0 & info [ "scale"; "s" ] ~docv:"S") in
+  let policies =
+    Arg.(value & opt_all (list policy_name_conv) [ [ "default" ] ]
+         & info [ "policy" ] ~docv:"POLICY,.."
+             ~doc:"per-request policy mix, cycled")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS" ~doc:"per-request deadline")
+  in
+  let spin_ms =
+    Arg.(value & opt int 20
+         & info [ "spin-ms" ] ~docv:"MS" ~doc:"busy work per `spin` request")
+  in
+  let burst =
+    Arg.(value & opt int 0
+         & info [ "burst" ] ~docv:"N"
+             ~doc:"client 0 fires $(docv) back-to-back spin requests at \
+                   start (forces overload sheds)")
+  in
+  let kill_every =
+    Arg.(value & opt int 0
+         & info [ "kill-every" ] ~docv:"K"
+             ~doc:"chaos: clients abruptly close and reconnect after every \
+                   $(docv)-th send (0 = off)")
+  in
+  let max_retries =
+    Arg.(value & opt int 5 & info [ "max-retries" ] ~docv:"N")
+  in
+  let backoff_base_ms =
+    Arg.(value & opt int 5 & info [ "backoff-base-ms" ] ~docv:"MS")
+  in
+  let backoff_cap_ms =
+    Arg.(value & opt int 200 & info [ "backoff-cap-ms" ] ~docv:"MS")
+  in
+  let wait_cap_s =
+    Arg.(value & opt float 15.0
+         & info [ "wait-cap-s" ] ~docv:"S"
+             ~doc:"max wait for stragglers after the last send before \
+                   declaring replies lost")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"write the kind=serve loadgen artifact (latency \
+                   percentiles; feeds `rpb report`)")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet"; "q" ]) in
+  let run socket boot server_threads server_policy max_queue server_json
+      clients requests seed mean_gap_ms benches mode scale policies
+      deadline_ms spin_ms burst kill_every max_retries backoff_base_ms
+      backoff_cap_ms wait_cap_s json quiet =
+    exit
+      (loadgen_run ~socket ~boot ~server_threads ~server_policy ~max_queue
+         ~server_json ~clients ~requests ~seed ~mean_gap_ms
+         ~benches:(List.concat benches) ~mode:(Mode.name mode) ~scale
+         ~policies:(List.concat policies) ~deadline_ms ~spin_ms ~burst
+         ~kill_every ~max_retries ~backoff_base_ms ~backoff_cap_ms
+         ~wait_cap_s ~json ~quiet)
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(const run $ socket $ boot $ server_threads $ server_policy
+          $ max_queue $ server_json $ clients $ requests $ seed $ mean_gap_ms
+          $ benches $ mode $ scale $ policies $ deadline_ms $ spin_ms $ burst
+          $ kill_every $ max_retries $ backoff_base_ms $ backoff_cap_ms
+          $ wait_cap_s $ json $ quiet)
+
 (* ---- report: the unified dashboard ---- *)
 
 let report_run ~files ~out ~md =
@@ -607,13 +974,14 @@ let report_run ~files ~out ~md =
   Rpb_obs.Report.write_html ~path:out a;
   Printf.printf
     "wrote %s (%d bench record(s), %d profile(s), %d check(s), %d fault \
-     sweep(s), %d comparison(s))\n"
+     sweep(s), %d comparison(s), %d serve report(s))\n"
     out
     (List.length a.Rpb_obs.Report.bench)
     (List.length a.Rpb_obs.Report.profiles)
     (List.length a.Rpb_obs.Report.checks)
     (List.length a.Rpb_obs.Report.faults)
-    (List.length a.Rpb_obs.Report.compares);
+    (List.length a.Rpb_obs.Report.compares)
+    (List.length a.Rpb_obs.Report.serves);
   (match md with
    | None -> ()
    | Some path ->
@@ -624,9 +992,9 @@ let report_run ~files ~out ~md =
      Printf.printf "wrote %s\n" path);
   if a.Rpb_obs.Report.sources = [] then begin
     Printf.eprintf "report: no artifact parsed\n";
-    1
+    exit_usage
   end
-  else 0
+  else exit_ok
 
 let report_cmd =
   let doc =
@@ -653,9 +1021,27 @@ let report_cmd =
 
 let () =
   let doc = "Rust Parallel Benchmarks (RPB), reproduced in OCaml" in
-  let info = Cmd.info "rpb" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; patterns_cmd; run_cmd; bench_cmd; stats_cmd; check_cmd;
-            faults_cmd; profile_cmd; compare_cmd; report_cmd ]))
+  let exits =
+    [
+      Cmd.Exit.info exit_ok ~doc:"on success.";
+      Cmd.Exit.info exit_usage
+        ~doc:"on usage errors: unknown flags, benchmarks, policies, modes or \
+              inputs, unparseable artifacts.";
+      Cmd.Exit.info exit_gate
+        ~doc:"when a comparison gate trips (perf regression).";
+      Cmd.Exit.info exit_violation
+        ~doc:"when a correctness, fault or robustness check is violated \
+              (failed verification, lost or mismatched replies).";
+    ]
+  in
+  let info = Cmd.info "rpb" ~doc ~exits in
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [ list_cmd; patterns_cmd; run_cmd; bench_cmd; stats_cmd; check_cmd;
+           faults_cmd; profile_cmd; compare_cmd; serve_cmd; loadgen_cmd;
+           report_cmd ])
+  in
+  (* cmdliner reports its own usage errors as 124; fold them into the
+     documented usage code so every surface agrees. *)
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -25,6 +25,7 @@ type artifacts = {
   checks : J.json list;
   faults : J.json list;
   compares : J.json list;
+  serves : J.json list;
   sources : source list;
   errors : (string * string) list;  (* path, message *)
 }
@@ -36,6 +37,7 @@ let empty =
     checks = [];
     faults = [];
     compares = [];
+    serves = [];
     sources = [];
     errors = [];
   }
@@ -61,6 +63,7 @@ let add_file acc path =
     | "check" -> { acc with checks = j :: acc.checks }
     | "fault" -> { acc with faults = j :: acc.faults }
     | "compare" -> { acc with compares = j :: acc.compares }
+    | "serve" -> { acc with serves = j :: acc.serves }
     | _ -> { acc with bench = acc.bench @ J.records_of_doc j }
   with
   | Sys_error msg -> { acc with errors = (path, msg) :: acc.errors }
@@ -74,6 +77,7 @@ let load_files paths =
     checks = List.rev a.checks;
     faults = List.rev a.faults;
     compares = List.rev a.compares;
+    serves = List.rev a.serves;
     sources = List.rev a.sources;
     errors = List.rev a.errors;
   }
@@ -920,6 +924,76 @@ let section_compares buf compares =
       compares
   end
 
+(* Serving latency: kind="serve" documents from `rpb serve` (role=server)
+   and `rpb loadgen` (role=loadgen).  Latency summaries are already in
+   milliseconds; counters are a flat object of ints. *)
+let serve_role j =
+  match J.member_opt "role" j with Some (J.Str r) -> r | _ -> "?"
+
+let serve_counter j name =
+  match J.member_opt "counters" j with
+  | Some counters -> (
+    match J.member_opt name counters with
+    | Some (J.Int n) -> n
+    | _ -> 0)
+  | None -> 0
+
+(* (count, mean, p50, p95, p99, max) out of a latency-summary object. *)
+let serve_latency j =
+  let field = if serve_role j = "server" then "exec_latency" else "latency" in
+  let num l name =
+    match J.member_opt name l with
+    | Some (J.Float f) -> f
+    | Some (J.Int n) -> float_of_int n
+    | _ -> 0.0
+  in
+  match J.member_opt field j with
+  | Some l ->
+    ( int_of_float (num l "count"), num l "mean_ms", num l "p50_ms",
+      num l "p95_ms", num l "p99_ms", num l "max_ms" )
+  | None -> (0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+let section_serves buf serves =
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if serves <> [] then begin
+    pf "<h2>Serving latency</h2>";
+    pf
+      "<p class=\"sub\">From <code>rpb serve</code> / <code>rpb \
+       loadgen</code>: request latency percentiles (nearest-rank over \
+       successful replies) and the robustness counters — sheds, stalls, \
+       cancellations and losses under load.</p>";
+    pf
+      "<div class=\"card\"><table><tr><th>role</th><th \
+       class=\"num\">n</th><th class=\"num\">mean (ms)</th><th \
+       class=\"num\">p50</th><th class=\"num\">p95</th><th \
+       class=\"num\">p99</th><th class=\"num\">max</th><th \
+       class=\"num\">ok</th><th class=\"num\">shed</th><th \
+       class=\"num\">stalled</th><th class=\"num\">cancelled</th><th \
+       class=\"num\">failed</th><th class=\"num\">lost</th></tr>";
+    List.iter
+      (fun j ->
+        let role = serve_role j in
+        let n, mean, p50, p95, p99, mx = serve_latency j in
+        let shed =
+          serve_counter j (if role = "server" then "shed" else "shed_replies")
+        in
+        let badge_class = if serve_counter j "lost" > 0 then "bad" else "ok" in
+        pf
+          "<tr><td class=\"l\"><span class=\"badge %s\">%s</span></td><td \
+           class=\"num\">%d</td><td class=\"num\">%.2f</td><td \
+           class=\"num\">%.2f</td><td class=\"num\">%.2f</td><td \
+           class=\"num\">%.2f</td><td class=\"num\">%.2f</td><td \
+           class=\"num\">%d</td><td class=\"num\">%d</td><td \
+           class=\"num\">%d</td><td class=\"num\">%d</td><td \
+           class=\"num\">%d</td><td class=\"num\">%d</td></tr>"
+          badge_class (html_escape role) n mean p50 p95 p99 mx
+          (serve_counter j "ok") shed (serve_counter j "stalled")
+          (serve_counter j "cancelled") (serve_counter j "failed")
+          (serve_counter j "lost"))
+      serves;
+    pf "</table></div>"
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let to_html a =
@@ -932,9 +1006,10 @@ let to_html a =
   pf
     "<p class=\"sub\">Unified dashboard over %d artifact file(s): %d \
      benchmark record(s), %d profile(s), %d check report(s), %d fault \
-     report(s), %d comparison(s).</p>"
+     report(s), %d comparison(s), %d serve report(s).</p>"
     (List.length a.sources) (List.length a.bench) (List.length a.profiles)
-    (List.length a.checks) (List.length a.faults) (List.length a.compares);
+    (List.length a.checks) (List.length a.faults) (List.length a.compares)
+    (List.length a.serves);
   if a.errors <> [] then begin
     pf "<div class=\"card\">";
     List.iter
@@ -947,6 +1022,7 @@ let to_html a =
     pf "</div>"
   end;
   section_compares buf a.compares;
+  section_serves buf a.serves;
   section_policy_race buf a.bench;
   section_speedup buf a.bench;
   section_overhead buf a.bench;
@@ -968,9 +1044,32 @@ let to_markdown a =
   pf "# rpb report\n\n";
   pf
     "%d artifact file(s): %d benchmark record(s), %d profile(s), %d check \
-     report(s), %d fault report(s), %d comparison(s).\n\n"
+     report(s), %d fault report(s), %d comparison(s), %d serve report(s).\n\n"
     (List.length a.sources) (List.length a.bench) (List.length a.profiles)
-    (List.length a.checks) (List.length a.faults) (List.length a.compares);
+    (List.length a.checks) (List.length a.faults) (List.length a.compares)
+    (List.length a.serves);
+  if a.serves <> [] then begin
+    pf "## Serving latency\n\n";
+    pf
+      "| role | n | mean (ms) | p50 | p95 | p99 | max | ok | shed | stalled \
+       | cancelled | failed | lost |\n";
+    pf "|---|---|---|---|---|---|---|---|---|---|---|---|---|\n";
+    List.iter
+      (fun j ->
+        let role = serve_role j in
+        let n, mean, p50, p95, p99, mx = serve_latency j in
+        let shed =
+          serve_counter j (if role = "server" then "shed" else "shed_replies")
+        in
+        pf "| %s | %d | %.2f | %.2f | %.2f | %.2f | %.2f | %d | %d | %d | \
+            %d | %d | %d |\n"
+          role n mean p50 p95 p99 mx (serve_counter j "ok") shed
+          (serve_counter j "stalled")
+          (serve_counter j "cancelled")
+          (serve_counter j "failed") (serve_counter j "lost"))
+      a.serves;
+    pf "\n"
+  end;
   let curves = speedup_curves a.bench in
   if curves <> [] then begin
     pf "## Speedup curves\n\n";

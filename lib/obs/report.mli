@@ -15,7 +15,7 @@
 
 type source = { path : string; kind : string }
 (** One input file and the document kind it classified as:
-    ["bench" | "profile" | "check" | "fault" | "compare"]. *)
+    ["bench" | "profile" | "check" | "fault" | "compare" | "serve"]. *)
 
 type artifacts = {
   bench : Rpb_benchmarks.Bench_json.record list;
@@ -23,6 +23,10 @@ type artifacts = {
   checks : Rpb_benchmarks.Bench_json.json list;
   faults : Rpb_benchmarks.Bench_json.json list;
   compares : Rpb_benchmarks.Bench_json.json list;
+  serves : Rpb_benchmarks.Bench_json.json list;
+      (** [kind="serve"] documents from [rpb serve] (role [server]) and
+          [rpb loadgen] (role [loadgen]) — latency percentiles and
+          robustness counters *)
   sources : source list;
   errors : (string * string) list;
       (** files skipped as unreadable/unparseable: [(path, message)] *)

@@ -929,6 +929,160 @@ module Fault = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Shared timer wheel.
+
+   One process-wide timer domain services every [run ?deadline] watchdog (and
+   any other scheduled callback) instead of each deadline-bearing run spawning
+   a [Domain] of its own — the difference between "a CI harness with one
+   deadline per run" and "a server with thousands of per-request deadlines".
+   The domain is spawned lazily on the first [schedule], parks on a condition
+   variable while no timer is pending, and polls at most every [poll_s] while
+   one is (OCaml's [Condition] has no timed wait), which matches the 10 ms
+   granularity the per-run watchdog domains used to have.
+
+   [cancel] is synchronous: if the entry's callback is mid-flight on the
+   timer domain, [cancel] blocks until it completes — so after [cancel]
+   returns the callback either ran entirely or never will, and a watchdog can
+   never fire into a later run's scope.  Callback exceptions are swallowed
+   (a timer must never kill the timer domain); callbacks should be tiny. *)
+
+module Timer = struct
+  type handle = {
+    fire_at : float;
+    seq : int;
+    mutable cancelled : bool;  (** guarded by [mutex] *)
+    cb : unit -> unit;
+  }
+
+  let mutex = Mutex.create ()
+  let cond = Condition.create ()
+
+  (* Pending entries sorted by [fire_at] (ties by [seq]).  Insertion is
+     O(pending); the serving layer keeps at most a handful of deadlines
+     armed at once (requests are admitted into one executing run at a time),
+     so a sorted list beats a heap's constant factor here. *)
+  let pending : handle list ref = ref []
+  let executing : handle option ref = ref None
+  let seq_counter = ref 0
+  let stop_flag = ref false
+  let domain : unit Domain.t option ref = ref None
+  let domains_spawned_count = Atomic.make 0
+  let at_exit_registered = ref false
+  let poll_s = 0.005
+
+  let domains_spawned () = Atomic.get domains_spawned_count
+
+  let rec timer_loop () =
+    Mutex.lock mutex;
+    let rec step () =
+      if !stop_flag then Mutex.unlock mutex
+      else
+        match !pending with
+        | [] ->
+          Condition.wait cond mutex;
+          step ()
+        | e :: rest ->
+          if e.cancelled then begin
+            pending := rest;
+            step ()
+          end
+          else begin
+            let now = Unix.gettimeofday () in
+            if e.fire_at <= now then begin
+              pending := rest;
+              executing := Some e;
+              Mutex.unlock mutex;
+              (try e.cb () with _ -> ());
+              Mutex.lock mutex;
+              executing := None;
+              (* Wake a [cancel] blocked on this entry (and the loop's own
+                 empty-list wait shares the condition; spurious wakeups are
+                 re-checked). *)
+              Condition.broadcast cond;
+              step ()
+            end
+            else begin
+              (* No timed [Condition.wait] in the stdlib: release the lock
+                 and nap until the deadline or the next poll tick. *)
+              let nap = Float.min (e.fire_at -. now) poll_s in
+              Mutex.unlock mutex;
+              Unix.sleepf nap;
+              timer_loop ()
+            end
+          end
+    in
+    step ()
+
+  (* Must be called with [mutex] held. *)
+  let ensure_domain () =
+    match !domain with
+    | Some _ -> ()
+    | None ->
+      stop_flag := false;
+      Atomic.incr domains_spawned_count;
+      domain := Some (Domain.spawn timer_loop);
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        (* The timer domain must not outlive the program: stop and join it
+           at exit so the runtime never waits on a parked domain. *)
+        at_exit (fun () ->
+            Mutex.lock mutex;
+            let d = !domain in
+            stop_flag := true;
+            domain := None;
+            Condition.broadcast cond;
+            Mutex.unlock mutex;
+            Option.iter Domain.join d)
+      end
+
+  let schedule ~delay_s cb =
+    if delay_s < 0. then invalid_arg "Pool.Timer.schedule: negative delay";
+    Mutex.lock mutex;
+    ensure_domain ();
+    incr seq_counter;
+    let e =
+      {
+        fire_at = Unix.gettimeofday () +. delay_s;
+        seq = !seq_counter;
+        cancelled = false;
+        cb;
+      }
+    in
+    let rec insert = function
+      | [] -> [ e ]
+      | x :: _ as l
+        when e.fire_at < x.fire_at
+             || (e.fire_at = x.fire_at && e.seq < x.seq) ->
+        e :: l
+      | x :: rest -> x :: insert rest
+    in
+    pending := insert !pending;
+    Condition.broadcast cond;
+    Mutex.unlock mutex;
+    e
+
+  let cancel e =
+    Mutex.lock mutex;
+    e.cancelled <- true;
+    pending := List.filter (fun x -> x != e) !pending;
+    (* If the callback is running right now, wait it out: after [cancel]
+       returns the callback must not be able to observe any later state. *)
+    while (match !executing with Some x -> x == e | None -> false) do
+      Condition.wait cond mutex
+    done;
+    Mutex.unlock mutex
+
+  let shutdown () =
+    Mutex.lock mutex;
+    let d = !domain in
+    stop_flag := true;
+    domain := None;
+    Condition.broadcast cond;
+    Mutex.unlock mutex;
+    Option.iter Domain.join d
+end
+
+(* ------------------------------------------------------------------ *)
 
 (* Eventcount-style wakeup: pushers bump [wake_version] then broadcast if any
    worker registered as sleeping; sleepers re-check the version under the
@@ -1727,42 +1881,39 @@ let parallel_chunks ?grain ~start ~finish ~body pool =
       pool
   end
 
-(* Deadline watchdog: a side domain that polls until the run finishes or the
-   deadline passes, then cancels the run's *current* scope — construct
-   recovery may have replaced the one installed at [run] entry — with
-   [Stalled] carrying a per-worker counter dump, and wakes any sleeping
-   workers so the flag is observed.  Running tasks are not interrupted
-   (OCaml has no asynchronous cancellation); splitters and fresh tasks
-   observe the flag at their next check, which is what turns a CI hang into
-   a structured failure. *)
+(* Deadline watchdog: one [Timer] entry on the shared timer wheel (not a
+   dedicated domain — a server multiplexing thousands of deadline-bearing
+   runs must not spawn a [Domain] apiece).  At expiry it cancels the run's
+   *current* scope — construct recovery may have replaced the one installed
+   at [run] entry — with [Stalled] carrying a per-worker counter dump, and
+   wakes any sleeping workers so the flag is observed.  Running tasks are
+   not interrupted (OCaml has no asynchronous cancellation); splitters and
+   fresh tasks observe the flag at their next check, which is what turns a
+   hang into a structured failure.  [finish] cancels the entry *before*
+   installing a fresh scope, and [Timer.cancel] waits out a mid-flight
+   callback, so a watchdog can never fire into a later run's scope. *)
 let start_watchdog pool deadline_s =
-  let stop = Atomic.make false in
-  let d =
-    Domain.spawn (fun () ->
-        let t0 = Unix.gettimeofday () in
-        let rec loop () =
-          if not (Atomic.get stop) then
-            if Unix.gettimeofday () -. t0 > deadline_s then begin
-              let dump = Stats.to_string (Stats.capture pool) in
-              scope_cancel
-                (Atomic.get pool.scope)
-                (Stalled
-                   (Printf.sprintf
-                      "Pool.run exceeded its %.3fs deadline; per-worker \
-                       counters:\n\
-                       %s"
-                      deadline_s dump))
-                (Printexc.get_callstack 0);
-              signal_work pool
-            end
-            else begin
-              Unix.sleepf 0.01;
-              loop ()
-            end
-        in
-        loop ())
-  in
-  (stop, d)
+  Timer.schedule ~delay_s:deadline_s (fun () ->
+      let dump = Stats.to_string (Stats.capture pool) in
+      scope_cancel
+        (Atomic.get pool.scope)
+        (Stalled
+           (Printf.sprintf
+              "Pool.run exceeded its %.3fs deadline; per-worker counters:\n%s"
+              deadline_s dump))
+        (Printexc.get_callstack 0);
+      signal_work pool)
+
+(* External cooperative cancellation: flag the pool's current scope with
+   [exn] exactly as the deadline watchdog does, so splitters and
+   not-yet-started tasks of the active run observe it at their next check
+   and [run] re-raises [exn].  Best-effort by design — a no-op when no run
+   is active (the idle scope is replaced at the next [run] entry), and
+   tasks already executing are not interrupted.  This is the primitive the
+   serving layer uses when a client disconnects mid-request. *)
+let cancel_run pool exn =
+  scope_cancel (Atomic.get pool.scope) exn (Printexc.get_callstack 0);
+  signal_work pool
 
 let run ?deadline pool f =
   check_alive pool;
@@ -1790,11 +1941,10 @@ let run ?deadline pool f =
   let finish () =
     let scope = Atomic.get pool.scope in
     drain_scope pool scope;
-    (match watchdog with
-     | None -> ()
-     | Some (stop, d) ->
-       Atomic.set stop true;
-       Domain.join d);
+    (* Cancel before installing a fresh scope: [Timer.cancel] waits out a
+       callback already firing, so a late watchdog can only ever have hit
+       this (finished) run's scope. *)
+    Option.iter Timer.cancel watchdog;
     (match saved_minor_heap with
      | None -> ()
      | Some words -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = words });

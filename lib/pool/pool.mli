@@ -66,6 +66,52 @@ exception Stalled of string
     carries the deadline and a per-worker counter dump ({!Stats.to_string})
     taken at expiry, for post-mortem. *)
 
+(** {1 Shared timer wheel}
+
+    One process-wide timer domain services every scheduled callback — in
+    particular every [run ?deadline] watchdog — instead of each deadline
+    spawning a [Domain] of its own, so a server multiplexing thousands of
+    per-request deadlines costs one extra domain total.  The domain is
+    spawned lazily on the first {!Timer.schedule}, parks while no timer is
+    pending, polls at ≤5 ms granularity while one is, and is joined
+    automatically at process exit. *)
+
+module Timer : sig
+  type handle
+
+  val schedule : delay_s:float -> (unit -> unit) -> handle
+  (** Run the callback on the shared timer domain [delay_s] seconds from
+      now (±5 ms).  The callback must be small and must not raise — an
+      escaping exception is swallowed.  @raise Invalid_argument on a
+      negative delay. *)
+
+  val cancel : handle -> unit
+  (** Prevent the callback from firing.  Synchronous: if the callback is
+      executing right now, [cancel] blocks until it completes, so after
+      [cancel] returns the callback either ran entirely or never will.
+      Idempotent; harmless after the callback has fired. *)
+
+  val domains_spawned : unit -> int
+  (** How many timer domains this process has ever spawned — at most one
+      unless {!shutdown} was called in between.  The regression probe that
+      keeps deadline-bearing runs from costing a domain apiece. *)
+
+  val shutdown : unit -> unit
+  (** Stop and join the timer domain (pending timers are abandoned).  The
+      next {!schedule} spawns a fresh one.  Called automatically at
+      process exit. *)
+end
+
+val cancel_run : t -> exn -> unit
+(** [cancel_run pool exn] cancels the pool's {e current} run cooperatively,
+    exactly as the [?deadline] watchdog does: the active scope records
+    [exn], splitters and not-yet-started tasks observe the flag at their
+    next check, and {!run} re-raises [exn] after draining.  Best-effort by
+    design: callable from any domain or thread, a no-op when no run is
+    active (the idle scope is discarded at the next {!run} entry), and
+    tasks already executing are not interrupted.  This is the primitive a
+    serving layer uses when a client disconnects mid-request. *)
+
 (** {1 Scheduling policies}
 
     Every tunable scheduling decision of the work-stealing runtime is a field

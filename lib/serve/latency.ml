@@ -1,0 +1,76 @@
+type t = { mutable samples : float array; mutable len : int }
+
+let create () = { samples = Array.make 64 0.; len = 0 }
+
+let add t x =
+  if t.len = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.len) 0. in
+    Array.blit t.samples 0 bigger 0 t.len;
+    t.samples <- bigger
+  end;
+  t.samples.(t.len) <- x;
+  t.len <- t.len + 1
+
+let count t = t.len
+
+let merge a b =
+  let t = { samples = Array.make (max 64 (a.len + b.len)) 0.; len = 0 } in
+  Array.blit a.samples 0 t.samples 0 a.len;
+  Array.blit b.samples 0 t.samples a.len b.len;
+  t.len <- a.len + b.len;
+  t
+
+type summary = {
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+let summarize t =
+  if t.len = 0 then
+    { count = 0; mean_ms = 0.; p50_ms = 0.; p95_ms = 0.; p99_ms = 0.; max_ms = 0. }
+  else begin
+    let sorted = Array.sub t.samples 0 t.len in
+    Array.sort compare sorted;
+    (* Nearest rank: ceil(q/100 * n), 1-based. *)
+    let pct q =
+      let rank = int_of_float (ceil (q *. float_of_int t.len /. 100.)) in
+      sorted.(max 0 (min (t.len - 1) (rank - 1)))
+    in
+    let sum = Array.fold_left ( +. ) 0. sorted in
+    {
+      count = t.len;
+      mean_ms = sum /. float_of_int t.len;
+      p50_ms = pct 50.;
+      p95_ms = pct 95.;
+      p99_ms = pct 99.;
+      max_ms = sorted.(t.len - 1);
+    }
+  end
+
+open Rpb_benchmarks
+
+let summary_to_json s =
+  Bench_json.Obj
+    [
+      ("count", Bench_json.Int s.count);
+      ("mean_ms", Bench_json.Float s.mean_ms);
+      ("p50_ms", Bench_json.Float s.p50_ms);
+      ("p95_ms", Bench_json.Float s.p95_ms);
+      ("p99_ms", Bench_json.Float s.p99_ms);
+      ("max_ms", Bench_json.Float s.max_ms);
+    ]
+
+let summary_of_json j =
+  let open Bench_json in
+  {
+    count = get_int (member "count" j);
+    mean_ms = get_float (member "mean_ms" j);
+    p50_ms = get_float (member "p50_ms" j);
+    p95_ms = get_float (member "p95_ms" j);
+    p99_ms = get_float (member "p99_ms" j);
+    max_ms = get_float (member "max_ms" j);
+  }

@@ -1,0 +1,34 @@
+(** Latency aggregation for the serving path: collect per-request
+    milliseconds, summarize as the percentiles the dashboard reports. *)
+
+type t
+(** Mutable sample collector.  Not thread-safe — callers aggregate per
+    thread and {!merge}, or protect externally. *)
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one latency sample, in milliseconds. *)
+
+val merge : t -> t -> t
+(** New collector holding both sample sets. *)
+
+val count : t -> int
+
+type summary = {
+  count : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+(** All zeros when [count = 0]. *)
+
+val summarize : t -> summary
+(** Percentiles by the nearest-rank method on the sorted samples:
+    [p q] is the smallest sample such that at least [q] percent of the
+    samples are [<=] it. *)
+
+val summary_to_json : summary -> Rpb_benchmarks.Bench_json.json
+val summary_of_json : Rpb_benchmarks.Bench_json.json -> summary

@@ -1,0 +1,704 @@
+(* The rpb serve request server.  See serve.mli for the architecture; the
+   short version: conn systhreads parse + admit, one executor domain owns
+   every Pool.run, and nothing a client does may kill the process or poison
+   a pool. *)
+
+module Pool = Rpb_pool.Pool
+open Rpb_benchmarks
+
+type config = {
+  socket_path : string;
+  threads : int;
+  policy : string;
+  max_queue : int;
+  drain_grace_s : float;
+  scale_cap : int;
+  preload : (string * string option * int) list;
+  json_path : string option;
+  quiet : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    threads = max 1 (Domain.recommended_domain_count () - 1);
+    policy = "default";
+    max_queue = 16;
+    drain_grace_s = 2.0;
+    scale_cap = 6;
+    preload = [];
+    json_path = None;
+    quiet = false;
+  }
+
+type stats = {
+  accepted : int;
+  ok : int;
+  shed : int;
+  stalled : int;
+  cancelled : int;
+  failed : int;
+  rejected : int;
+  shutdown_replies : int;
+  disconnects : int;
+  connections : int;
+  max_occupancy : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;  (* serializes writes; guards [alive] for writers *)
+  mutable alive : bool;
+}
+
+type job = {
+  req : Protocol.request;
+  jconn : conn;
+  enqueued_at : float;
+  jcancelled : bool Atomic.t;
+}
+
+type req_record = {
+  r_id : int;
+  r_bench : string;
+  r_policy : string;
+  r_status : string;
+  r_queue_ms : float;
+  r_exec_ms : float;
+}
+
+let max_records = 4096
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  started_at : float;
+  (* --- queue state, all under [qmutex] --- *)
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  queue : job Queue.t;
+  mutable inflight : (job * Pool.t) option;
+  mutable draining : bool;
+  mutable ewma_ms : float;
+  mutable c : stats;
+  mutable records : req_record list;  (* newest first, capped *)
+  mutable n_records : int;
+  (* --- pools, under [pmutex] --- *)
+  pmutex : Mutex.t;
+  pools : (string, Pool.t) Hashtbl.t;
+  (* --- prepared-instance cache: executor-domain only --- *)
+  prepared : (string * string * string * int, Common.prepared) Hashtbl.t;
+  (* --- connections, under [cmutex] --- *)
+  cmutex : Mutex.t;
+  mutable conn_threads : Thread.t list;
+  mutable live_conns : conn list;
+  mutable accept_thread : Thread.t option;
+  mutable executor : unit Domain.t option;
+  smutex : Mutex.t;  (* serializes [stop] *)
+  mutable stopped : bool;
+}
+
+let socket_path t = t.cfg.socket_path
+
+let zero_stats =
+  {
+    accepted = 0;
+    ok = 0;
+    shed = 0;
+    stalled = 0;
+    cancelled = 0;
+    failed = 0;
+    rejected = 0;
+    shutdown_replies = 0;
+    disconnects = 0;
+    connections = 0;
+    max_occupancy = 0;
+  }
+
+let stats t =
+  Mutex.lock t.qmutex;
+  let s = t.c in
+  Mutex.unlock t.qmutex;
+  s
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s -> if not t.cfg.quiet then Printf.eprintf "serve: %s\n%!" s)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Replies *)
+
+(* Writes race with connection teardown: [alive] flips under [wmutex]
+   before the reader thread closes the fd, so a reply is either written to
+   the live fd or dropped — never written to a recycled descriptor. *)
+let send conn reply =
+  Mutex.lock conn.wmutex;
+  (try
+     if conn.alive then
+       Protocol.write_frame conn.fd (Protocol.reply_line reply)
+   with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.unlock conn.wmutex
+
+let err ?(id = -1) ?retry_after_ms kind msg =
+  Protocol.Err_reply { id; kind; retry_after_ms; msg }
+
+(* ------------------------------------------------------------------ *)
+(* Pools and request execution (executor domain) *)
+
+let resolve_policy_name t name = if name = "default" then t.cfg.policy else name
+
+let resolve_pool t name =
+  Mutex.lock t.pmutex;
+  let pool =
+    match Hashtbl.find_opt t.pools name with
+    | Some p -> p
+    | None ->
+      let policy = Option.get (Pool.Policy.find name) in
+      let p =
+        Pool.create ~name:("serve-" ^ name) ~policy
+          ~num_workers:t.cfg.threads ()
+      in
+      Hashtbl.replace t.pools name p;
+      p
+  in
+  Mutex.unlock t.pmutex;
+  pool
+
+exception Verify_failed
+
+let resolve_input entry = function
+  | Some i -> i
+  | None -> List.hd entry.Common.inputs
+
+let prepare_cached t pool entry ~input ~scale =
+  let key = (Pool.policy_name pool, entry.Common.name, input, scale) in
+  match Hashtbl.find_opt t.prepared key with
+  | Some p -> (key, p)
+  | None ->
+    let p = Pool.run pool (fun () -> entry.Common.prepare pool ~input ~scale) in
+    Hashtbl.replace t.prepared key p;
+    (key, p)
+
+(* 1 ms of busy work per index; grain 1 so cancellation is observed at
+   millisecond granularity. *)
+let run_spin pool (req : Protocol.request) =
+  let chunks = max 1 req.spin_ms in
+  let t0 = Rpb_prim.Timing.now () in
+  Pool.run ?deadline:req.deadline_s pool (fun () ->
+      Pool.parallel_for ~grain:1 ~start:0 ~finish:(chunks - 1)
+        ~body:(fun _ ->
+          let stop_at = Rpb_prim.Timing.now () +. 1e-3 in
+          while Rpb_prim.Timing.now () < stop_at do
+            ignore (Sys.opaque_identity 0)
+          done)
+        pool);
+  let exec_ms = (Rpb_prim.Timing.now () -. t0) *. 1e3 in
+  (Protocol.digest_hash [| req.spin_ms |], exec_ms)
+
+let run_bench t pool (req : Protocol.request) =
+  let entry = Option.get (Registry.find req.bench) in
+  let input = resolve_input entry req.input in
+  let mode = Option.get (Mode.of_string req.mode) in
+  let key, prepared = prepare_cached t pool entry ~input ~scale:req.scale in
+  try
+    let t0 = Rpb_prim.Timing.now () in
+    Pool.run ?deadline:req.deadline_s pool (fun () ->
+        prepared.Common.run_par mode);
+    let exec_ms = (Rpb_prim.Timing.now () -. t0) *. 1e3 in
+    let ok, snap =
+      Pool.run pool (fun () ->
+          let ok = prepared.Common.verify () in
+          (ok, prepared.Common.snapshot ()))
+    in
+    if not ok then raise Verify_failed;
+    (Protocol.digest_hash snap, exec_ms)
+  with e ->
+    (* A stalled, cancelled or faulted run can leave the prepared instance's
+       output buffers partially written; drop it so the next request
+       re-prepares from scratch. *)
+    Hashtbl.remove t.prepared key;
+    raise e
+
+(* Returns (status, reply option, exec_ms).  A [Pool.Cancelled] without our
+   own cancel mark is a stale cancellation from an earlier job's disconnect
+   poisoning the fresh scope — retried once (the scope is clean again after
+   the aborted run). *)
+let execute t job pool =
+  let req = job.req in
+  let queue_ms = (Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3 in
+  let attempt () =
+    if req.bench = "spin" then run_spin pool req else run_bench t pool req
+  in
+  match
+    try attempt ()
+    with Pool.Cancelled when not (Atomic.get job.jcancelled) -> attempt ()
+  with
+  | digest, exec_ms ->
+    ( "ok",
+      Some (Protocol.Ok_reply { id = req.id; digest; queue_ms; exec_ms }),
+      exec_ms )
+  | exception Pool.Stalled msg ->
+    let brief =
+      match String.index_opt msg '\n' with
+      | Some i -> String.sub msg 0 i
+      | None -> msg
+    in
+    ("stalled", Some (err ~id:req.id Protocol.Stalled brief), 0.)
+  | exception Pool.Cancelled ->
+    ("cancelled", Some (err ~id:req.id Protocol.Cancelled "disconnected"), 0.)
+  | exception Verify_failed ->
+    ("failed", Some (err ~id:req.id Protocol.Failed "verification failed"), 0.)
+  | exception Pool.Fault.Injected msg ->
+    ("failed", Some (err ~id:req.id Protocol.Failed ("fault: " ^ msg)), 0.)
+  | exception e ->
+    ("failed", Some (err ~id:req.id Protocol.Failed (Printexc.to_string e)), 0.)
+
+let record t ~(job : job) ~policy_name ~status ~queue_ms ~exec_ms =
+  if t.n_records < max_records then begin
+    t.records <-
+      {
+        r_id = job.req.id;
+        r_bench = job.req.bench;
+        r_policy = policy_name;
+        r_status = status;
+        r_queue_ms = queue_ms;
+        r_exec_ms = exec_ms;
+      }
+      :: t.records;
+    t.n_records <- t.n_records + 1
+  end
+
+let bump t status =
+  t.c <-
+    (match status with
+    | "ok" -> { t.c with ok = t.c.ok + 1 }
+    | "stalled" -> { t.c with stalled = t.c.stalled + 1 }
+    | "cancelled" -> { t.c with cancelled = t.c.cancelled + 1 }
+    | "shutdown" -> { t.c with shutdown_replies = t.c.shutdown_replies + 1 }
+    | _ -> { t.c with failed = t.c.failed + 1 })
+
+let executor_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.qmutex;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.qcond t.qmutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* draining and nothing queued: done *)
+      running := false;
+      Mutex.unlock t.qmutex
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      if t.draining then begin
+        bump t "shutdown";
+        Mutex.unlock t.qmutex;
+        send job.jconn (err ~id:job.req.id Protocol.Shutting_down "draining")
+      end
+      else if Atomic.get job.jcancelled then begin
+        bump t "cancelled";
+        record t ~job ~policy_name:"-" ~status:"cancelled"
+          ~queue_ms:((Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3)
+          ~exec_ms:0.;
+        Mutex.unlock t.qmutex
+      end
+      else begin
+        Mutex.unlock t.qmutex;
+        let policy_name = resolve_policy_name t job.req.policy in
+        let pool = resolve_pool t policy_name in
+        Mutex.lock t.qmutex;
+        t.inflight <- Some (job, pool);
+        Mutex.unlock t.qmutex;
+        let status, reply, exec_ms = execute t job pool in
+        let queue_ms = (Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3 in
+        Mutex.lock t.qmutex;
+        t.inflight <- None;
+        bump t status;
+        if status = "ok" then
+          t.ewma_ms <- (0.8 *. t.ewma_ms) +. (0.2 *. exec_ms);
+        record t ~job ~policy_name ~status ~queue_ms ~exec_ms;
+        Mutex.unlock t.qmutex;
+        match reply with Some r -> send job.jconn r | None -> ()
+      end
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Admission (connection threads) *)
+
+let unknown_policy_msg name =
+  Printf.sprintf "unknown policy %s (have: %s)" (Protocol.sanitize name)
+    (String.concat " " (Pool.Policy.names ()))
+
+let validate t (req : Protocol.request) =
+  let policy_name = resolve_policy_name t req.policy in
+  if Pool.Policy.find policy_name = None then
+    Error (Protocol.Unknown_policy, unknown_policy_msg req.policy)
+  else if req.bench = "spin" then
+    if req.spin_ms <= 0 then
+      Error (Protocol.Malformed_request, "spin requires spin_ms > 0")
+    else Ok ()
+  else
+    match Registry.find req.bench with
+    | None ->
+      Error
+        ( Protocol.Unknown_bench,
+          Printf.sprintf "unknown bench %s (have: %s)"
+            (Protocol.sanitize req.bench)
+            (String.concat " " Registry.names) )
+    | Some entry ->
+      if Mode.of_string req.mode = None then
+        Error
+          ( Protocol.Malformed_request,
+            "unknown mode " ^ Protocol.sanitize req.mode )
+      else
+        let input = resolve_input entry req.input in
+        if not (List.mem input entry.Common.inputs) then
+          Error
+            ( Protocol.Malformed_request,
+              Printf.sprintf "unknown input %s for %s"
+                (Protocol.sanitize input) entry.Common.name )
+        else if req.scale > t.cfg.scale_cap then
+          Error
+            ( Protocol.Malformed_request,
+              Printf.sprintf "scale %d exceeds server cap %d" req.scale
+                t.cfg.scale_cap )
+        else Ok ()
+
+let retry_after_ms t occupancy =
+  let hint = t.ewma_ms *. float_of_int (occupancy + 1) in
+  max 1 (min 10_000 (int_of_float hint))
+
+let admit t conn (req : Protocol.request) =
+  Mutex.lock t.qmutex;
+  if t.draining then begin
+    t.c <- { t.c with shutdown_replies = t.c.shutdown_replies + 1 };
+    Mutex.unlock t.qmutex;
+    send conn (err ~id:req.id Protocol.Shutting_down "draining")
+  end
+  else begin
+    let occupancy =
+      Queue.length t.queue + (match t.inflight with Some _ -> 1 | None -> 0)
+    in
+    if occupancy >= t.cfg.max_queue then begin
+      t.c <- { t.c with shed = t.c.shed + 1 };
+      let hint = retry_after_ms t occupancy in
+      Mutex.unlock t.qmutex;
+      send conn
+        (err ~id:req.id ~retry_after_ms:hint Protocol.Overloaded
+           (Printf.sprintf "queue full (%d)" occupancy))
+    end
+    else begin
+      let job =
+        {
+          req;
+          jconn = conn;
+          enqueued_at = Rpb_prim.Timing.now ();
+          jcancelled = Atomic.make false;
+        }
+      in
+      Queue.push job t.queue;
+      t.c <-
+        {
+          t.c with
+          accepted = t.c.accepted + 1;
+          max_occupancy = max t.c.max_occupancy (occupancy + 1);
+        };
+      Condition.signal t.qcond;
+      Mutex.unlock t.qmutex
+    end
+  end
+
+let handle_line t conn line =
+  match Protocol.parse_request line with
+  | Error msg ->
+    Mutex.lock t.qmutex;
+    t.c <- { t.c with rejected = t.c.rejected + 1 };
+    Mutex.unlock t.qmutex;
+    send conn (err Protocol.Malformed_request msg)
+  | Ok req -> (
+    match validate t req with
+    | Error (kind, msg) ->
+      Mutex.lock t.qmutex;
+      t.c <- { t.c with rejected = t.c.rejected + 1 };
+      Mutex.unlock t.qmutex;
+      send conn (err ~id:req.id kind msg)
+    | Ok () -> admit t conn req)
+
+(* ------------------------------------------------------------------ *)
+(* Connection lifecycle *)
+
+(* Tear down one connection's server-side state: stop future writes, cancel
+   its queued jobs, cooperatively cancel its in-flight run.  Idempotent. *)
+let on_conn_end t conn ~clean =
+  Mutex.lock conn.wmutex;
+  let was_alive = conn.alive in
+  conn.alive <- false;
+  Mutex.unlock conn.wmutex;
+  if was_alive then begin
+    Mutex.lock t.qmutex;
+    let outstanding = ref false in
+    Queue.iter
+      (fun j ->
+        if j.jconn == conn then begin
+          Atomic.set j.jcancelled true;
+          outstanding := true
+        end)
+      t.queue;
+    (match t.inflight with
+    | Some (j, pool) when j.jconn == conn ->
+      Atomic.set j.jcancelled true;
+      outstanding := true;
+      Pool.cancel_run pool Pool.Cancelled
+    | _ -> ());
+    if (not clean) || !outstanding then
+      t.c <- { t.c with disconnects = t.c.disconnects + 1 };
+    Mutex.unlock t.qmutex
+  end
+
+let conn_loop t conn =
+  let r = Protocol.reader conn.fd in
+  let clean = ref false in
+  (try
+     let rec go () =
+       match Protocol.read_frame r with
+       | None -> clean := true
+       | Some line ->
+         handle_line t conn line;
+         go ()
+     in
+     go ()
+   with
+  | Protocol.Malformed msg ->
+    (* Framing is gone — reply once, then drop the connection. *)
+    Mutex.lock t.qmutex;
+    t.c <- { t.c with rejected = t.c.rejected + 1 };
+    Mutex.unlock t.qmutex;
+    send conn (err Protocol.Malformed_request msg)
+  | Unix.Unix_error _ | Sys_error _ -> ()
+  | _ -> ());
+  on_conn_end t conn ~clean:!clean;
+  Mutex.lock t.cmutex;
+  t.live_conns <- List.filter (fun c -> c != conn) t.live_conns;
+  Mutex.unlock t.cmutex;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let stop = ref false in
+  while not !stop do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> stop := true
+    | fd, _ ->
+      Mutex.lock t.qmutex;
+      let draining = t.draining in
+      if not draining then t.c <- { t.c with connections = t.c.connections + 1 };
+      Mutex.unlock t.qmutex;
+      if draining then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        stop := true
+      end
+      else begin
+        let conn = { fd; wmutex = Mutex.create (); alive = true } in
+        Mutex.lock t.cmutex;
+        t.live_conns <- conn :: t.live_conns;
+        let th = Thread.create (fun () -> conn_loop t conn) () in
+        t.conn_threads <- th :: t.conn_threads;
+        Mutex.unlock t.cmutex
+      end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Artifact *)
+
+let artifact_json t =
+  let open Bench_json in
+  let s = t.c in
+  let reqs =
+    List.rev_map
+      (fun r ->
+        Obj
+          [
+            ("id", Int r.r_id);
+            ("bench", Str r.r_bench);
+            ("policy", Str r.r_policy);
+            ("status", Str r.r_status);
+            ("queue_ms", Float r.r_queue_ms);
+            ("exec_ms", Float r.r_exec_ms);
+          ])
+      t.records
+  in
+  let exec_lat = Latency.create () in
+  List.iter
+    (fun r -> if r.r_status = "ok" then Latency.add exec_lat r.r_exec_ms)
+    t.records;
+  Obj
+    [
+      ("schema_version", Int schema_version);
+      ("kind", Str "serve");
+      ("role", Str "server");
+      ( "meta",
+        Obj
+          [
+            ("socket", Str t.cfg.socket_path);
+            ("threads", Int t.cfg.threads);
+            ("policy", Str t.cfg.policy);
+            ("max_queue", Int t.cfg.max_queue);
+            ("scale_cap", Int t.cfg.scale_cap);
+            ("uptime_s", Float (Rpb_prim.Timing.now () -. t.started_at));
+          ] );
+      ( "counters",
+        Obj
+          [
+            ("accepted", Int s.accepted);
+            ("ok", Int s.ok);
+            ("shed", Int s.shed);
+            ("stalled", Int s.stalled);
+            ("cancelled", Int s.cancelled);
+            ("failed", Int s.failed);
+            ("rejected", Int s.rejected);
+            ("shutdown_replies", Int s.shutdown_replies);
+            ("disconnects", Int s.disconnects);
+            ("connections", Int s.connections);
+            ("max_occupancy", Int s.max_occupancy);
+          ] );
+      ("ewma_service_ms", Float t.ewma_ms);
+      ("exec_latency", Latency.(summary_to_json (summarize exec_lat)));
+      ("requests", List reqs);
+    ]
+
+let write_artifact t =
+  match t.cfg.json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Bench_json.to_string (artifact_json t));
+    output_char oc '\n';
+    close_out oc;
+    log t "wrote %s" path
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let preload_all t pool =
+  List.iter
+    (fun (bench, input, scale) ->
+      match Registry.find bench with
+      | None -> failwith (Printf.sprintf "preload: unknown bench %s" bench)
+      | Some entry ->
+        let input = resolve_input entry input in
+        if not (List.mem input entry.Common.inputs) then
+          failwith
+            (Printf.sprintf "preload: unknown input %s for %s" input bench);
+        let _key, _p = prepare_cached t pool entry ~input ~scale in
+        log t "preloaded %s/%s scale=%d" bench input scale)
+    t.cfg.preload
+
+let start cfg =
+  (* A peer closing mid-write must surface as EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  match Pool.Policy.find cfg.policy with
+  | None -> Error (unknown_policy_msg cfg.policy)
+  | Some policy -> (
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+      Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen listen_fd 64;
+      let pool =
+        Pool.create ~name:"serve" ~policy ~num_workers:cfg.threads ()
+      in
+      let t =
+        {
+          cfg;
+          listen_fd;
+          started_at = Rpb_prim.Timing.now ();
+          qmutex = Mutex.create ();
+          qcond = Condition.create ();
+          queue = Queue.create ();
+          inflight = None;
+          draining = false;
+          ewma_ms = 5.0;
+          c = zero_stats;
+          records = [];
+          n_records = 0;
+          pmutex = Mutex.create ();
+          pools = Hashtbl.create 8;
+          prepared = Hashtbl.create 32;
+          cmutex = Mutex.create ();
+          conn_threads = [];
+          live_conns = [];
+          accept_thread = None;
+          executor = None;
+          smutex = Mutex.create ();
+          stopped = false;
+        }
+      in
+      Hashtbl.replace t.pools cfg.policy pool;
+      preload_all t pool;
+      t.executor <- Some (Domain.spawn (fun () -> executor_loop t));
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      log t "listening on %s (threads=%d policy=%s max_queue=%d)"
+        cfg.socket_path cfg.threads cfg.policy cfg.max_queue;
+      Ok t
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Error (Printexc.to_string e))
+
+(* Wake a blocked [accept] — closing the fd from another thread does not
+   interrupt it on Linux. *)
+let nudge_accept t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX t.cfg.socket_path)
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let stop t =
+  Mutex.lock t.smutex;
+  if not t.stopped then begin
+    Mutex.lock t.qmutex;
+    t.draining <- true;
+    Condition.broadcast t.qcond;
+    Mutex.unlock t.qmutex;
+    log t "draining";
+    nudge_accept t;
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+    (* Give the in-flight request [drain_grace_s] to finish, then cancel it
+       cooperatively on the shared timer wheel. *)
+    let grace =
+      Pool.Timer.schedule ~delay_s:t.cfg.drain_grace_s (fun () ->
+          Mutex.lock t.qmutex;
+          (match t.inflight with
+          | Some (j, pool) ->
+            Atomic.set j.jcancelled true;
+            Pool.cancel_run pool Pool.Cancelled
+          | None -> ());
+          Mutex.unlock t.qmutex)
+    in
+    Option.iter Domain.join t.executor;
+    Pool.Timer.cancel grace;
+    (* Unblock connection readers (close alone does not wake them), then
+       join; each reader owns its fd's close. *)
+    Mutex.lock t.cmutex;
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.live_conns;
+    let threads = t.conn_threads in
+    Mutex.unlock t.cmutex;
+    List.iter Thread.join threads;
+    write_artifact t;
+    Mutex.lock t.pmutex;
+    Hashtbl.iter (fun _ p -> Pool.shutdown p) t.pools;
+    Hashtbl.reset t.pools;
+    Mutex.unlock t.pmutex;
+    t.stopped <- true;
+    log t "stopped (ok=%d shed=%d stalled=%d cancelled=%d failed=%d)" t.c.ok
+      t.c.shed t.c.stalled t.c.cancelled t.c.failed
+  end;
+  Mutex.unlock t.smutex

@@ -1,0 +1,84 @@
+(** The [rpb serve] request server: one process owning shared work-stealing
+    pools, serving {!Protocol} jobs over a Unix-domain socket.
+
+    {2 Architecture}
+
+    One {e accept} systhread plus one systhread per connection parse frames
+    and run admission control; a single {e executor} domain owns all
+    [Pool.run] calls (pools must not be entered from two threads at once,
+    and systhreads of one domain share the pool's DLS slot).  Each request
+    executes inside its own cancellation scope with its own optional
+    deadline — a stalled or cancelled request replies with a structured
+    error and leaves the pools reusable.
+
+    {2 Admission control}
+
+    The queue is bounded: when [queued + in-flight >= max_queue] a request
+    is shed immediately with {!Protocol.Overloaded} and a [retry_after_ms]
+    hint derived from an EWMA of recent service times scaled by the queue
+    depth.  Malformed or unresolvable requests are rejected without
+    occupying a queue slot.
+
+    {2 Cancellation and drain}
+
+    A client disconnecting cancels its queued jobs and cooperatively
+    cancels its in-flight run ({!Rpb_pool.Pool.cancel_run}).  {!stop}
+    drains gracefully: stop accepting, reply [shutdown] to queued
+    requests, let the in-flight request finish within [drain_grace_s]
+    (cancelling it when the grace timer — on the shared
+    {!Rpb_pool.Pool.Timer} wheel — fires first), then join every thread,
+    write the [kind="serve"] artifact, and shut the pools down.  No
+    failure mode (faults, stalls, disconnects, floods of garbage bytes)
+    may kill the process or poison a pool. *)
+
+type config = {
+  socket_path : string;
+  threads : int;  (** workers per pool *)
+  policy : string;  (** pool policy for requests with [policy=default] *)
+  max_queue : int;  (** admission bound on queued + in-flight requests *)
+  drain_grace_s : float;  (** how long {!stop} lets the in-flight run finish *)
+  scale_cap : int;  (** requests with a larger [scale] are rejected *)
+  preload : (string * string option * int) list;
+      (** [(bench, input, scale)] instances prepared at startup so first
+          requests don't pay input generation *)
+  json_path : string option;  (** where {!stop} writes the serve artifact *)
+  quiet : bool;
+}
+
+val default_config : socket_path:string -> config
+(** [threads = Domain.recommended_domain_count () - 1] (min 1),
+    [policy = "default"], [max_queue = 16], [drain_grace_s = 2.0],
+    [scale_cap = 6], no preload, no artifact, not quiet. *)
+
+type stats = {
+  accepted : int;  (** requests admitted to the queue *)
+  ok : int;
+  shed : int;  (** replied [overloaded] *)
+  stalled : int;  (** per-request deadline fired *)
+  cancelled : int;  (** cancelled by disconnect (incl. unsent replies) *)
+  failed : int;  (** job raised, or verification failed *)
+  rejected : int;  (** malformed / unknown bench / unknown policy / capped *)
+  shutdown_replies : int;  (** queued requests replied [shutdown] at drain *)
+  disconnects : int;
+      (** connections that ended with a transport error, or with requests
+          still outstanding (their work was cancelled) *)
+  connections : int;
+  max_occupancy : int;  (** high-water mark of queued + in-flight *)
+}
+
+type t
+
+val start : config -> (t, string) result
+(** Bind and listen on [socket_path] (any stale socket file is replaced),
+    create the default-policy pool, prepare the preloads, and launch the
+    accept thread and the executor domain.  [Error msg] if the socket can't
+    be bound or the default policy name is unknown. *)
+
+val stop : t -> unit
+(** Graceful drain as described above.  Idempotent; blocks until every
+    thread and domain has been joined and the artifact (if any) written. *)
+
+val stats : t -> stats
+(** A consistent snapshot (taken under the queue lock). *)
+
+val socket_path : t -> string

@@ -1,0 +1,46 @@
+#!/bin/sh
+# The rpb exit-code contract: 0 = success, 2 = usage error, 3 = perf gate
+# tripped, 4 = correctness / fault / robustness violation.  Every CLI
+# surface that takes --policy must reject an unknown name with exit 2 and
+# list the known policy names on stderr.  Run by the dune rule in
+# test/dune with the binary path as $1.
+set -u
+rpb=$1
+fail() { echo "cli_exit_codes: $*" >&2; exit 1; }
+
+expect_code() {
+  want=$1
+  shift
+  "$rpb" "$@" >/dev/null 2>&1
+  got=$?
+  [ "$got" -eq "$want" ] || fail "rpb $*: exit $got, want $want"
+}
+
+# $1.. = subcommand (and any required positionals); --policy nosuch is
+# appended.  Exit must be 2 and stderr must list a real policy name.
+expect_policy_listing() {
+  out=$("$rpb" "$@" --policy nosuch 2>&1)
+  got=$?
+  [ "$got" -eq 2 ] || fail "rpb $* --policy nosuch: exit $got, want 2"
+  case $out in
+  *steal_half*) ;;
+  *) fail "rpb $* --policy nosuch: stderr does not list policy names" ;;
+  esac
+}
+
+expect_code 0 list
+expect_code 0 run hist -s 1
+expect_code 2 nosuchcmd
+expect_code 2 run nosuchbench
+expect_code 2 bench nosuchbench
+expect_code 2 report /nonexistent-artifact.json
+expect_code 2 serve --preload 'hist:x:notanint'
+
+expect_policy_listing bench hist
+expect_policy_listing check
+expect_policy_listing faults
+expect_policy_listing profile
+expect_policy_listing serve
+expect_policy_listing loadgen
+
+echo "cli_exit_codes: ok"

@@ -646,6 +646,76 @@ let test_run_deadline_completes () =
       in
       Alcotest.(check int) "deadline run completes" (1_000 * 999 / 2) x)
 
+(* ---------- shared timer wheel ---------- *)
+
+let test_deadline_runs_share_timer_domain () =
+  with_pool 2 (fun pool ->
+      (* The first deadline-bearing run may lazily spawn the one shared
+         timer domain; after that, watchdogs must be timer entries, not
+         domains. *)
+      Pool.run ~deadline:30. pool (fun () -> ());
+      let before = Pool.Timer.domains_spawned () in
+      for _ = 1 to 1_000 do
+        Pool.run ~deadline:30. pool (fun () -> ())
+      done;
+      Alcotest.(check int) "domains spawned by 1000 deadline runs" 0
+        (Pool.Timer.domains_spawned () - before))
+
+let test_timer_schedule_fires () =
+  let fired = Atomic.make false in
+  let _h =
+    Pool.Timer.schedule ~delay_s:0.02 (fun () -> Atomic.set fired true)
+  in
+  let give_up = Unix.gettimeofday () +. 5.0 in
+  while (not (Atomic.get fired)) && Unix.gettimeofday () < give_up do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) "timer fired" true (Atomic.get fired)
+
+let test_timer_cancel_prevents_fire () =
+  let fired = Atomic.make false in
+  let h =
+    Pool.Timer.schedule ~delay_s:0.15 (fun () -> Atomic.set fired true)
+  in
+  Pool.Timer.cancel h;
+  Unix.sleepf 0.25;
+  Alcotest.(check bool) "cancelled timer never fired" false (Atomic.get fired)
+
+let test_timer_ordering () =
+  let order = Atomic.make [] in
+  let push x = Atomic.set order (x :: Atomic.get order) in
+  let _b = Pool.Timer.schedule ~delay_s:0.08 (fun () -> push "b") in
+  let _a = Pool.Timer.schedule ~delay_s:0.02 (fun () -> push "a") in
+  let give_up = Unix.gettimeofday () +. 5.0 in
+  while List.length (Atomic.get order) < 2 && Unix.gettimeofday () < give_up do
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check (list string)) "fired in deadline order" [ "b"; "a" ]
+    (Atomic.get order)
+
+let test_cancel_run_from_other_thread () =
+  with_pool 2 (fun pool ->
+      let th =
+        Thread.create
+          (fun () ->
+            Unix.sleepf 0.05;
+            Pool.cancel_run pool Pool.Cancelled)
+          ()
+      in
+      (match
+         Fun.protect
+           ~finally:(fun () -> Thread.join th)
+           (fun () ->
+             Pool.run pool (fun () ->
+                 Pool.parallel_for ~grain:1 ~start:0 ~finish:10_000
+                   ~body:(fun _ -> Unix.sleepf 0.001)
+                   pool))
+       with
+      | () -> Alcotest.fail "expected Cancelled"
+      | exception Pool.Cancelled -> ()
+      | exception e -> raise e);
+      assert_reusable pool)
+
 (* ---------- fault injection ---------- *)
 
 let test_fault_off_by_default () =
@@ -955,6 +1025,18 @@ let () =
           Alcotest.test_case "deadline stalls" `Quick test_run_deadline_stalls;
           Alcotest.test_case "deadline completes" `Quick
             test_run_deadline_completes;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "deadline runs share one domain" `Quick
+            test_deadline_runs_share_timer_domain;
+          Alcotest.test_case "schedule fires" `Quick test_timer_schedule_fires;
+          Alcotest.test_case "cancel prevents fire" `Quick
+            test_timer_cancel_prevents_fire;
+          Alcotest.test_case "fires in deadline order" `Quick
+            test_timer_ordering;
+          Alcotest.test_case "cancel_run from another thread" `Quick
+            test_cancel_run_from_other_thread;
         ] );
       ( "faults",
         [

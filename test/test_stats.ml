@@ -473,6 +473,49 @@ let test_report_classify_and_errors () =
     (List.length a.Report.errors);
   Alcotest.(check int) "and produce no source" 0 (List.length a.Report.sources)
 
+let test_report_serve_docs () =
+  Alcotest.(check string) "serve documents classify as serve" "serve"
+    (Report.classify_doc (J.Obj [ ("kind", J.Str "serve") ]));
+  let doc role latency_field p95 =
+    J.Obj
+      [
+        ("kind", J.Str "serve");
+        ("role", J.Str role);
+        ( "counters",
+          J.Obj
+            [ ("ok", J.Int 9); ("shed", J.Int 3); ("shed_replies", J.Int 3);
+              ("stalled", J.Int 1); ("cancelled", J.Int 0);
+              ("failed", J.Int 0); ("lost", J.Int 0) ] );
+        ( latency_field,
+          J.Obj
+            [ ("count", J.Int 9); ("mean_ms", J.Float 4.0);
+              ("p50_ms", J.Float 3.0); ("p95_ms", J.Float p95);
+              ("p99_ms", J.Float (p95 +. 1.0)); ("max_ms", J.Float 20.0) ] );
+      ]
+  in
+  let a =
+    {
+      Report.empty with
+      Report.serves =
+        [ doc "server" "exec_latency" 17.25; doc "loadgen" "latency" 12.5 ];
+    }
+  in
+  let html = Report.to_html a in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("html contains " ^ needle) true
+        (contains html needle))
+    [ "Serving latency"; "server"; "loadgen"; "17.25"; "12.50" ];
+  let md = Report.to_markdown a in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("markdown contains " ^ needle) true
+        (contains md needle))
+    [ "Serving latency"; "17.25"; "12.50" ];
+  (* no serve artifacts: no section *)
+  Alcotest.(check bool) "no section without serve docs" false
+    (contains (Report.to_html Report.empty) "Serving latency")
+
 let () =
   Alcotest.run "stats"
     [
@@ -531,5 +574,7 @@ let () =
             test_report_policy_races;
           Alcotest.test_case "classification and error capture" `Quick
             test_report_classify_and_errors;
+          Alcotest.test_case "serve latency section" `Quick
+            test_report_serve_docs;
         ] );
     ]
