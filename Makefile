@@ -1,6 +1,6 @@
 .PHONY: all build typecheck test bench examples doc clean check-race check-fault \
 	profile-smoke compare-smoke report-smoke perf-gate save-baseline \
-	policy-race-smoke granularity-smoke serve-smoke
+	policy-race-smoke granularity-smoke serve-smoke metrics-smoke
 
 all: build
 
@@ -125,6 +125,48 @@ serve-smoke:
 	dune exec bin/rpb.exe -- report SERVE_loadgen.json SERVE_server.json \
 	  -o REPORT_serve.html --md REPORT_serve.md
 	test -s REPORT_serve.md
+
+# CI metrics-smoke job: the live metrics plane end to end.  A long-lived
+# server is started with snapshot streaming armed (one kind=metrics JSONL
+# line every 250 ms plus the slow-request scheduler-profile log), the
+# chaos load generator drives it over the same socket, and `rpb top
+# --check` then takes consecutive verb=stats snapshots over the serve
+# protocol and asserts the snapshot invariants — counters monotone,
+# sequence advancing, and every latency histogram's totals reconciling
+# with the request status counters (exit 4 on a violation).  The server
+# is drained with SIGTERM, all three artifacts feed one dashboard, and
+# the JSONL is checked to actually carry kind=metrics docs.  The binary
+# is prebuilt and run from _build directly so the three concurrent
+# processes never contend on the dune lock; the outer timeouts are the
+# hang detectors of last resort.
+metrics-smoke:
+	dune build bin/rpb.exe
+	rm -f /tmp/rpb-metrics-smoke.sock METRICS_serve.jsonl
+	status=0; \
+	_build/default/bin/rpb.exe serve --socket /tmp/rpb-metrics-smoke.sock \
+	  --threads 4 --max-queue 16 --preload hist --preload sort \
+	  --metrics-json METRICS_serve.jsonl --metrics-interval 0.25 \
+	  --slow-log 4 --slow-pctl 90 --json SERVE_metrics_server.json --quiet & \
+	server=$$!; \
+	i=0; until test -S /tmp/rpb-metrics-smoke.sock || test $$i -ge 50; \
+	  do sleep 0.1; i=$$((i + 1)); done; \
+	timeout 300 _build/default/bin/rpb.exe loadgen \
+	  --socket /tmp/rpb-metrics-smoke.sock \
+	  --clients 4 -n 12 --bench hist,sort --bench spin --spin-ms 25 \
+	  --burst 24 --kill-every 9 --seed 42 \
+	  --json SERVE_metrics_loadgen.json || status=$$?; \
+	timeout 60 _build/default/bin/rpb.exe top \
+	  --socket /tmp/rpb-metrics-smoke.sock --check -n 2 --interval 0.3 \
+	  || status=$$?; \
+	kill -TERM $$server 2>/dev/null; \
+	wait $$server || status=$$?; \
+	exit $$status
+	grep -q '"kind":"metrics"' METRICS_serve.jsonl
+	dune exec bin/rpb.exe -- report METRICS_serve.jsonl \
+	  SERVE_metrics_loadgen.json SERVE_metrics_server.json \
+	  -o REPORT_metrics.html --md REPORT_metrics.md
+	test -s REPORT_metrics.md
+	grep -q 'Live metrics' REPORT_metrics.md
 
 # Refresh the committed baseline store from this machine (then commit the
 # changed bench/baselines/*.json).

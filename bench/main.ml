@@ -30,6 +30,11 @@ type config = {
   threads : int;
   repeats : int;
   json : string option;
+  metrics_json : string option;
+      (* --metrics-json: run with the live metrics plane enabled and append
+         one kind=metrics snapshot per artifact (plus a final one) as JSONL.
+         Off by default so timed runs pay only the disabled-path atomic
+         load. *)
   policies : string list;  (* --policies, consumed by the policy-race artifact *)
   race_benchmarks : string list option;  (* --race-benchmarks, default: all *)
 }
@@ -46,8 +51,13 @@ let header title =
   Printf.printf "%s\n" title;
   line ()
 
+let metrics_active = ref false
+
 let with_pool ?policy n f =
   let pool = Rpb_pool.Pool.create ?policy ~num_workers:n () in
+  (* Latest pool wins the pool.* probes — each artifact's measurement pool
+     shows up in the snapshot stream while it is the one doing work. *)
+  if !metrics_active then Rpb_obs.Metrics.register_pool pool;
   Fun.protect ~finally:(fun () -> Rpb_pool.Pool.shutdown pool) (fun () -> f pool)
 
 (* The paper reports means over repeats on a quiet dedicated machine; on a
@@ -725,6 +735,7 @@ let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 let parse_args () =
   let scale = ref 2 and threads = ref default_threads and repeats = ref 3 in
   let json = ref None in
+  let metrics_json = ref None in
   let policies =
     ref [ "default"; "steal_half"; "work_first"; "sticky"; "lazy" ]
   in
@@ -743,6 +754,9 @@ let parse_args () =
       go rest
     | "--json" :: v :: rest ->
       json := Some v;
+      go rest
+    | "--metrics-json" :: v :: rest ->
+      metrics_json := Some v;
       go rest
     | "--profile" :: rest ->
       which := "profile" :: !which;
@@ -769,6 +783,7 @@ let parse_args () =
       threads = !threads;
       repeats = !repeats;
       json = !json;
+      metrics_json = !metrics_json;
       policies = !policies;
       race_benchmarks = !race_benchmarks;
     },
@@ -796,6 +811,15 @@ let write_json cfg which =
 let () =
   let cfg, which = parse_args () in
   json_active := cfg.json <> None;
+  let metrics_oc =
+    match cfg.metrics_json with
+    | None -> None
+    | Some path ->
+      metrics_active := true;
+      Rpb_obs.Metrics.enable ();
+      ignore (Rpb_obs.Metrics.sample_gc_pauses ());
+      Some (open_out path)
+  in
   Printf.printf
     "RPB reproduction harness: scale=%d threads=%d repeats=%d (host cores: %d)\n"
     cfg.scale cfg.threads cfg.repeats
@@ -803,11 +827,20 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name (artifacts @ extra_artifacts) with
-      | Some f -> f cfg
+      | Some f ->
+        f cfg;
+        Option.iter Rpb_obs.Metrics.write_snapshot_line metrics_oc
       | None ->
         Printf.eprintf "unknown artifact %s; known: %s\n" name
           (String.concat " "
              (List.map fst (artifacts @ extra_artifacts)));
         exit 1)
     which;
+  (match metrics_oc with
+  | Some oc ->
+    Rpb_obs.Metrics.write_snapshot_line oc;
+    close_out oc;
+    Printf.printf "wrote metrics snapshots to %s\n"
+      (Option.get cfg.metrics_json)
+  | None -> ());
   write_json cfg which

@@ -650,7 +650,8 @@ let parse_preloads specs =
     (Ok []) specs
 
 let serve_run ~socket ~threads ~policy ~max_queue ~drain_grace ~scale_cap
-    ~preload ~json ~quiet =
+    ~preload ~json ~quiet ~minor_heap_kb ~metrics_json ~metrics_interval
+    ~slow_log ~slow_pctl =
   let module Serve = Rpb_serve.Serve in
   match parse_preloads preload with
   | Error msg ->
@@ -668,6 +669,11 @@ let serve_run ~socket ~threads ~policy ~max_queue ~drain_grace ~scale_cap
         preload;
         json_path = json;
         quiet;
+        minor_heap_kb;
+        metrics_path = metrics_json;
+        metrics_interval_s = metrics_interval;
+        slow_log;
+        slow_pctl;
       }
     in
     match Serve.start cfg with
@@ -739,20 +745,45 @@ let serve_cmd =
              ~doc:"write the kind=serve stats artifact at drain")
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ]) in
+  let metrics_json =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-json" ] ~docv:"FILE"
+             ~doc:"append one kind=metrics snapshot per interval as JSONL \
+                   (feeds the report dashboard's live-metrics section)")
+  in
+  let metrics_interval =
+    Arg.(value & opt float 1.0
+         & info [ "metrics-interval" ] ~docv:"SECONDS"
+             ~doc:"snapshot period for $(b,--metrics-json)")
+  in
+  let slow_log =
+    Arg.(value & opt int 8
+         & info [ "slow-log" ] ~docv:"N"
+             ~doc:"keep the N slowest-request scheduler profiles (0 \
+                   disables the slow-request log)")
+  in
+  let slow_pctl =
+    Arg.(value & opt float 99.0
+         & info [ "slow-pctl" ] ~docv:"P"
+             ~doc:"exec-time percentile a request must clear to be logged \
+                   as slow")
+  in
   let run socket threads policy max_queue drain_grace scale_cap preload json
-      quiet =
+      quiet minor_heap_kb metrics_json metrics_interval slow_log slow_pctl =
     exit
       (serve_run ~socket ~threads ~policy ~max_queue ~drain_grace ~scale_cap
-         ~preload ~json ~quiet)
+         ~preload ~json ~quiet ~minor_heap_kb ~metrics_json ~metrics_interval
+         ~slow_log ~slow_pctl)
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ socket $ threads $ policy $ max_queue $ drain_grace
-          $ scale_cap $ preload $ json $ quiet)
+          $ scale_cap $ preload $ json $ quiet $ minor_heap_kb_arg
+          $ metrics_json $ metrics_interval $ slow_log $ slow_pctl)
 
 let loadgen_run ~socket ~boot ~server_threads ~server_policy ~max_queue
-    ~server_json ~clients ~requests ~seed ~mean_gap_ms ~benches ~mode ~scale
-    ~policies ~deadline_ms ~spin_ms ~burst ~kill_every ~max_retries
-    ~backoff_base_ms ~backoff_cap_ms ~wait_cap_s ~json ~quiet =
+    ~server_json ~server_metrics_json ~clients ~requests ~seed ~mean_gap_ms
+    ~benches ~mode ~scale ~policies ~deadline_ms ~spin_ms ~burst ~kill_every
+    ~max_retries ~backoff_base_ms ~backoff_cap_ms ~wait_cap_s ~json ~quiet =
   let module Serve = Rpb_serve.Serve in
   let module Loadgen = Rpb_serve.Loadgen in
   let server =
@@ -771,6 +802,8 @@ let loadgen_run ~socket ~boot ~server_threads ~server_policy ~max_queue
           max_queue;
           preload;
           json_path = server_json;
+          metrics_path = server_metrics_json;
+          metrics_interval_s = 0.25;
           quiet;
         }
       in
@@ -877,6 +910,12 @@ let loadgen_cmd =
          & info [ "server-json" ] ~docv:"FILE"
              ~doc:"server-side kind=serve artifact for $(b,--boot)")
   in
+  let server_metrics_json =
+    Arg.(value & opt (some string) None
+         & info [ "server-metrics-json" ] ~docv:"FILE"
+             ~doc:"server-side kind=metrics JSONL for $(b,--boot) (sampled \
+                   every 250 ms)")
+  in
   let clients = Arg.(value & opt int 4 & info [ "clients"; "c" ] ~docv:"N") in
   let requests =
     Arg.(value & opt int 16
@@ -946,23 +985,62 @@ let loadgen_cmd =
   in
   let quiet = Arg.(value & flag & info [ "quiet"; "q" ]) in
   let run socket boot server_threads server_policy max_queue server_json
-      clients requests seed mean_gap_ms benches mode scale policies
-      deadline_ms spin_ms burst kill_every max_retries backoff_base_ms
-      backoff_cap_ms wait_cap_s json quiet =
+      server_metrics_json clients requests seed mean_gap_ms benches mode scale
+      policies deadline_ms spin_ms burst kill_every max_retries
+      backoff_base_ms backoff_cap_ms wait_cap_s json quiet =
     exit
       (loadgen_run ~socket ~boot ~server_threads ~server_policy ~max_queue
-         ~server_json ~clients ~requests ~seed ~mean_gap_ms
-         ~benches:(List.concat benches) ~mode:(Mode.name mode) ~scale
-         ~policies:(List.concat policies) ~deadline_ms ~spin_ms ~burst
+         ~server_json ~server_metrics_json ~clients ~requests ~seed
+         ~mean_gap_ms ~benches:(List.concat benches) ~mode:(Mode.name mode)
+         ~scale ~policies:(List.concat policies) ~deadline_ms ~spin_ms ~burst
          ~kill_every ~max_retries ~backoff_base_ms ~backoff_cap_ms
          ~wait_cap_s ~json ~quiet)
   in
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(const run $ socket $ boot $ server_threads $ server_policy
-          $ max_queue $ server_json $ clients $ requests $ seed $ mean_gap_ms
-          $ benches $ mode $ scale $ policies $ deadline_ms $ spin_ms $ burst
-          $ kill_every $ max_retries $ backoff_base_ms $ backoff_cap_ms
-          $ wait_cap_s $ json $ quiet)
+          $ max_queue $ server_json $ server_metrics_json $ clients $ requests
+          $ seed $ mean_gap_ms $ benches $ mode $ scale $ policies
+          $ deadline_ms $ spin_ms $ burst $ kill_every $ max_retries
+          $ backoff_base_ms $ backoff_cap_ms $ wait_cap_s $ json $ quiet)
+
+(* ---- top: live metrics view over a running server ---- *)
+
+let top_cmd =
+  let doc =
+    "Watch a running rpb server's live metrics: each refresh sends a \
+     verb=stats request over the serve socket and renders throughput, \
+     queue/exec/total latency percentiles (recomputed from the snapshot's \
+     log2 histogram buckets), worker and steal rates, GC pause \
+     percentiles, and the slow-request log counter.  With $(b,--check), \
+     asserts the snapshot invariants instead of rendering (counters \
+     monotone, histogram totals reconciling with the status counters) and \
+     exits 4 on a violation — the CI metrics-smoke contract."
+  in
+  let socket =
+    Arg.(value & opt string (default_socket ())
+         & info [ "socket" ] ~docv:"PATH" ~doc:"server socket path")
+  in
+  let interval =
+    Arg.(value & opt float 1.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"refresh period")
+  in
+  let iterations =
+    Arg.(value & opt int 0
+         & info [ "iterations"; "n" ] ~docv:"N"
+             ~doc:"stop after N refreshes (0 = until the server goes away)")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"assert snapshot invariants instead of rendering")
+  in
+  let run socket interval iterations check =
+    exit
+      (Rpb_serve.Top.run ~socket_path:socket ~interval_s:interval ~iterations
+         ~check)
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ socket $ interval $ iterations $ check)
 
 (* ---- report: the unified dashboard ---- *)
 
@@ -1040,7 +1118,7 @@ let () =
       (Cmd.group info
          [ list_cmd; patterns_cmd; run_cmd; bench_cmd; stats_cmd; check_cmd;
            faults_cmd; profile_cmd; compare_cmd; serve_cmd; loadgen_cmd;
-           report_cmd ])
+           top_cmd; report_cmd ])
   in
   (* cmdliner reports its own usage errors as 124; fold them into the
      documented usage code so every surface agrees. *)

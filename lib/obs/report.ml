@@ -26,6 +26,7 @@ type artifacts = {
   faults : J.json list;
   compares : J.json list;
   serves : J.json list;
+  metrics : J.json list;
   sources : source list;
   errors : (string * string) list;  (* path, message *)
 }
@@ -38,6 +39,7 @@ let empty =
     faults = [];
     compares = [];
     serves = [];
+    metrics = [];
     sources = [];
     errors = [];
   }
@@ -53,21 +55,41 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let add_doc acc j =
+  match classify_doc j with
+  | "profile" -> { acc with profiles = Profile.of_json j :: acc.profiles }
+  | "check" -> { acc with checks = j :: acc.checks }
+  | "fault" -> { acc with faults = j :: acc.faults }
+  | "compare" -> { acc with compares = j :: acc.compares }
+  | "serve" -> { acc with serves = j :: acc.serves }
+  | "metrics" -> { acc with metrics = j :: acc.metrics }
+  | _ -> { acc with bench = acc.bench @ J.records_of_doc j }
+
 let add_file acc path =
-  try
-    let j = J.of_string (read_file path) in
-    let kind = classify_doc j in
-    let acc = { acc with sources = { path; kind } :: acc.sources } in
-    match kind with
-    | "profile" -> { acc with profiles = Profile.of_json j :: acc.profiles }
-    | "check" -> { acc with checks = j :: acc.checks }
-    | "fault" -> { acc with faults = j :: acc.faults }
-    | "compare" -> { acc with compares = j :: acc.compares }
-    | "serve" -> { acc with serves = j :: acc.serves }
-    | _ -> { acc with bench = acc.bench @ J.records_of_doc j }
-  with
-  | Sys_error msg -> { acc with errors = (path, msg) :: acc.errors }
-  | J.Parse_error msg -> { acc with errors = (path, msg) :: acc.errors }
+  match read_file path with
+  | exception Sys_error msg -> { acc with errors = (path, msg) :: acc.errors }
+  | content -> (
+    match J.of_string content with
+    | j ->
+      let acc = add_doc acc j in
+      { acc with sources = { path; kind = classify_doc j } :: acc.sources }
+    | exception J.Parse_error msg -> (
+      (* Not one document — maybe a JSONL stream (the --metrics-json
+         format: snapshots interleaved with slow-request profiles).  Each
+         line classifies on its own; the file parses if any line does. *)
+      let docs =
+        String.split_on_char '\n' content
+        |> List.filter_map (fun line ->
+               if String.trim line = "" then None
+               else match J.of_string line with
+                 | j -> Some j
+                 | exception J.Parse_error _ -> None)
+      in
+      match docs with
+      | [] -> { acc with errors = (path, msg) :: acc.errors }
+      | docs ->
+        let acc = List.fold_left add_doc acc docs in
+        { acc with sources = { path; kind = "jsonl" } :: acc.sources }))
 
 let load_files paths =
   let a = List.fold_left add_file empty paths in
@@ -78,6 +100,7 @@ let load_files paths =
     faults = List.rev a.faults;
     compares = List.rev a.compares;
     serves = List.rev a.serves;
+    metrics = List.rev a.metrics;
     sources = List.rev a.sources;
     errors = List.rev a.errors;
   }
@@ -994,6 +1017,164 @@ let section_serves buf serves =
     pf "</table></div>"
   end
 
+(* Live metrics: kind="metrics" snapshots (the [stats] verb /
+   --metrics-json JSONL format).  A snapshot stream becomes three time
+   series over the snapshot sequence number: throughput (delta ok /
+   delta wall time between consecutive snapshots), admission-queue
+   occupancy (a probe gauge), and the p95 of the exec-latency histogram. *)
+let m_float j name =
+  match J.member_opt name j with
+  | Some (J.Float f) -> f
+  | Some (J.Int n) -> float_of_int n
+  | _ -> 0.0
+
+let m_counter j name =
+  match J.member_opt "counters" j with
+  | Some c -> (
+    match J.member_opt name c with Some (J.Int n) -> n | _ -> 0)
+  | None -> 0
+
+let m_gauge j name =
+  match J.member_opt "gauges" j with
+  | Some g -> (
+    match J.member_opt name g with
+    | Some (J.Float f) -> Some f
+    | Some (J.Int n) -> Some (float_of_int n)
+    | _ -> None)
+  | None -> None
+
+let m_hist_field j hist field =
+  match J.member_opt "histograms" j with
+  | Some (J.Obj _ as hs) -> (
+    match J.member_opt hist hs with
+    | Some h -> (
+      match J.member_opt field h with
+      | Some (J.Float f) -> Some f
+      | Some (J.Int n) -> Some (float_of_int n)
+      | _ -> None)
+    | None -> None)
+  | _ -> None
+
+(* Stream order: one server run is one [started_s]; within a run, [seq]. *)
+let metrics_sorted metrics =
+  List.stable_sort
+    (fun a b ->
+      compare (m_float a "started_s", m_float a "seq")
+        (m_float b "started_s", m_float b "seq"))
+    metrics
+
+let metrics_series metrics =
+  let snaps = Array.of_list (metrics_sorted metrics) in
+  let throughput = ref [] and occupancy = ref [] and p95 = ref [] in
+  Array.iteri
+    (fun i s ->
+      let x = i in
+      if i > 0 then begin
+        let prev = snaps.(i - 1) in
+        let dt = m_float s "ts_s" -. m_float prev "ts_s" in
+        if dt > 0. then begin
+          let d = m_counter s "serve.ok" - m_counter prev "serve.ok" in
+          if d >= 0 then
+            let r = float_of_int d /. dt in
+            throughput :=
+              (x, (r, Printf.sprintf "snapshot %d: %.1f ok/s" x r))
+              :: !throughput
+        end
+      end;
+      (match m_gauge s "serve.occupancy" with
+      | Some o when Float.is_finite o ->
+        occupancy :=
+          (x, (o, Printf.sprintf "snapshot %d: occupancy %.0f" x o))
+          :: !occupancy
+      | _ -> ());
+      match m_hist_field s "serve.exec_ms" "p95_ms" with
+      | Some p when Float.is_finite p && p > 0. ->
+        p95 := (x, (p, Printf.sprintf "snapshot %d: p95 %.2f ms" x p)) :: !p95
+      | _ -> ())
+    snaps;
+  (List.rev !throughput, List.rev !occupancy, List.rev !p95)
+
+let section_metrics buf metrics =
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if metrics <> [] then begin
+    pf "<h2>Live metrics</h2>";
+    pf
+      "<p class=\"sub\">From the serving layer's metrics plane \
+       (<code>rpb serve --metrics-json</code> / the <code>stats</code> \
+       verb): %d snapshot(s).  Throughput is the delta of the \
+       <code>serve.ok</code> counter between consecutive snapshots; \
+       latency percentiles interpolate inside log2(ns) histogram \
+       buckets.</p>"
+      (List.length metrics);
+    let throughput, occupancy, p95 = metrics_series metrics in
+    let chart title y_label pts =
+      if List.length pts >= 2 then begin
+        pf "<div class=\"card\">";
+        pf
+          "<div class=\"t\" style=\"font-size:13px;color:var(--ink)\">%s</div>\
+           <div class=\"sub\">%s</div>"
+          (html_escape title) (html_escape y_label);
+        let y_max =
+          List.fold_left (fun acc (_, (y, _)) -> Float.max acc y) 0.0 pts
+        in
+        svg_line_chart ~w:300 ~h:170 ~x_label:"snapshot"
+          ~y_max:(Float.max 1e-9 (y_max *. 1.15))
+          ~series:[ (title, pts) ] buf;
+        pf "</div>"
+      end
+    in
+    pf "<div class=\"grid-charts\">";
+    chart "throughput" "successful replies per second" throughput;
+    chart "queue occupancy" "queued + in-flight requests" occupancy;
+    chart "exec p95" "milliseconds" p95;
+    pf "</div>";
+    (* Final-snapshot summary: the counters and histogram totals the CI
+       smoke job asserts against. *)
+    match List.rev (metrics_sorted metrics) with
+    | [] -> ()
+    | last :: _ ->
+      pf
+        "<div class=\"card\"><details><summary>final snapshot (seq \
+         %.0f)</summary><table><tr><th>counter</th><th \
+         class=\"num\">value</th></tr>"
+        (m_float last "seq");
+      (match J.member_opt "counters" last with
+      | Some (J.Obj fields) ->
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | J.Int n ->
+              pf
+                "<tr><td class=\"l\"><code>%s</code></td><td \
+                 class=\"num\">%d</td></tr>"
+                (html_escape name) n
+            | _ -> ())
+          fields
+      | _ -> ());
+      pf "</table>";
+      pf
+        "<table><tr><th>histogram</th><th class=\"num\">n</th><th \
+         class=\"num\">p50</th><th class=\"num\">p95</th><th \
+         class=\"num\">p99</th><th class=\"num\">max (ms)</th></tr>";
+      (match J.member_opt "histograms" last with
+      | Some (J.Obj fields) ->
+        List.iter
+          (fun (name, _) ->
+            let f field =
+              Option.value (m_hist_field last name field) ~default:0.
+            in
+            pf
+              "<tr><td class=\"l\"><code>%s</code></td><td \
+               class=\"num\">%.0f</td><td class=\"num\">%.2f</td><td \
+               class=\"num\">%.2f</td><td class=\"num\">%.2f</td><td \
+               class=\"num\">%.2f</td></tr>"
+              (html_escape name) (f "count") (f "p50_ms") (f "p95_ms")
+              (f "p99_ms") (f "max_ms"))
+          fields
+      | _ -> ());
+      pf "</table></details></div>"
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let to_html a =
@@ -1006,10 +1187,11 @@ let to_html a =
   pf
     "<p class=\"sub\">Unified dashboard over %d artifact file(s): %d \
      benchmark record(s), %d profile(s), %d check report(s), %d fault \
-     report(s), %d comparison(s), %d serve report(s).</p>"
+     report(s), %d comparison(s), %d serve report(s), %d metrics \
+     snapshot(s).</p>"
     (List.length a.sources) (List.length a.bench) (List.length a.profiles)
     (List.length a.checks) (List.length a.faults) (List.length a.compares)
-    (List.length a.serves);
+    (List.length a.serves) (List.length a.metrics);
   if a.errors <> [] then begin
     pf "<div class=\"card\">";
     List.iter
@@ -1023,6 +1205,7 @@ let to_html a =
   end;
   section_compares buf a.compares;
   section_serves buf a.serves;
+  section_metrics buf a.metrics;
   section_policy_race buf a.bench;
   section_speedup buf a.bench;
   section_overhead buf a.bench;
@@ -1044,10 +1227,11 @@ let to_markdown a =
   pf "# rpb report\n\n";
   pf
     "%d artifact file(s): %d benchmark record(s), %d profile(s), %d check \
-     report(s), %d fault report(s), %d comparison(s), %d serve report(s).\n\n"
+     report(s), %d fault report(s), %d comparison(s), %d serve report(s), \
+     %d metrics snapshot(s).\n\n"
     (List.length a.sources) (List.length a.bench) (List.length a.profiles)
     (List.length a.checks) (List.length a.faults) (List.length a.compares)
-    (List.length a.serves);
+    (List.length a.serves) (List.length a.metrics);
   if a.serves <> [] then begin
     pf "## Serving latency\n\n";
     pf
@@ -1069,6 +1253,30 @@ let to_markdown a =
           (serve_counter j "failed") (serve_counter j "lost"))
       a.serves;
     pf "\n"
+  end;
+  if a.metrics <> [] then begin
+    let sorted = metrics_sorted a.metrics in
+    let last = List.hd (List.rev sorted) in
+    pf "## Live metrics\n\n";
+    pf
+      "%d snapshot(s), final seq %.0f, uptime %.1fs: ok=%d shed=%d \
+       rejected=%d stalled=%d cancelled=%d failed=%d slow_logged=%d"
+      (List.length sorted) (m_float last "seq") (m_float last "uptime_s")
+      (m_counter last "serve.ok") (m_counter last "serve.shed")
+      (m_counter last "serve.rejected")
+      (m_counter last "serve.stalled")
+      (m_counter last "serve.cancelled")
+      (m_counter last "serve.failed")
+      (m_counter last "serve.slow_logged");
+    (match
+       ( m_hist_field last "serve.exec_ms" "p50_ms",
+         m_hist_field last "serve.exec_ms" "p95_ms",
+         m_hist_field last "serve.exec_ms" "p99_ms" )
+     with
+    | Some p50, Some p95, Some p99 ->
+      pf "; exec p50/p95/p99 = %.2f/%.2f/%.2f ms" p50 p95 p99
+    | _ -> ());
+    pf "\n\n"
   end;
   let curves = speedup_curves a.bench in
   if curves <> [] then begin

@@ -15,7 +15,8 @@
 
 type source = { path : string; kind : string }
 (** One input file and the document kind it classified as:
-    ["bench" | "profile" | "check" | "fault" | "compare" | "serve"]. *)
+    ["bench" | "profile" | "check" | "fault" | "compare" | "serve" |
+    "metrics"], or ["jsonl"] for a multi-line stream. *)
 
 type artifacts = {
   bench : Rpb_benchmarks.Bench_json.record list;
@@ -27,6 +28,10 @@ type artifacts = {
       (** [kind="serve"] documents from [rpb serve] (role [server]) and
           [rpb loadgen] (role [loadgen]) — latency percentiles and
           robustness counters *)
+  metrics : Rpb_benchmarks.Bench_json.json list;
+      (** [kind="metrics"] live-metrics snapshots (the [stats] verb /
+          [--metrics-json] JSONL format), in stream order — the
+          dashboard's time-series section *)
   sources : source list;
   errors : (string * string) list;
       (** files skipped as unreadable/unparseable: [(path, message)] *)
@@ -39,9 +44,12 @@ val classify_doc : Rpb_benchmarks.Bench_json.json -> string
     documents predate the kind tag). *)
 
 val add_file : artifacts -> string -> artifacts
-(** Parse and classify one file.  I/O and parse failures land in
-    {!artifacts.errors} instead of raising, so one bad artifact never sinks
-    the report. *)
+(** Parse and classify one file.  A file that fails whole-document parsing
+    is retried as JSONL — one document per line, each classified on its
+    own, which is how [--metrics-json] streams (snapshots interleaved with
+    slow-request profiles) load.  I/O and parse failures land in
+    {!artifacts.errors} instead of raising, so one bad artifact never
+    sinks the report. *)
 
 val load_files : string list -> artifacts
 (** {!add_file} over the list, preserving order. *)

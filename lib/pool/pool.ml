@@ -74,6 +74,14 @@ let c_max_depth = 4
    new allocation, no false sharing. *)
 let c_last_victim = 5
 
+(* Per-worker GC samples for the live metrics plane: [Gc.quick_stat] can
+   only be read from the owning domain, so workers sample their own
+   minor-collection count and minor words (in kwords, to stay in an int)
+   every 64 tasks while the gc-sampling instrumentation bit is set.  Same
+   slab, same racy-read aggregation contract as the counters above. *)
+let c_gc_minors = 6
+let c_gc_minor_kwords = 7
+
 (* 8 words = 64 bytes of payload per slab: one full cache line, so two
    workers' counters never share one. *)
 let counter_slots = 8
@@ -391,10 +399,19 @@ let instr_flags = Atomic.make 0
 let tracing_bit = 1
 let recording_bit = 2
 
+(* Bit 2: periodic per-worker [Gc.quick_stat] sampling into the counter
+   slabs ([c_gc_minors] / [c_gc_minor_kwords]), polled by the live metrics
+   plane in [lib/obs].  Costs one atomic load per executed task while off —
+   the same contract as [Trace] / [Fault]. *)
+let gc_sampling_bit = 4
+
 let rec set_instr_bit bit on =
   let cur = Atomic.get instr_flags in
   let next = if on then cur lor bit else cur land lnot bit in
   if not (Atomic.compare_and_set instr_flags cur next) then set_instr_bit bit on
+
+let set_gc_sampling on = set_instr_bit gc_sampling_bit on
+let gc_sampling () = Atomic.get instr_flags land gc_sampling_bit <> 0
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler flight recorder.
@@ -1077,9 +1094,19 @@ module Timer = struct
     let d = !domain in
     stop_flag := true;
     domain := None;
+    (* Abandon pending timers for real: a domain respawned by a later
+       [schedule] must not fire entries armed before the shutdown. *)
+    List.iter (fun e -> e.cancelled <- true) !pending;
+    pending := [];
     Condition.broadcast cond;
     Mutex.unlock mutex;
     Option.iter Domain.join d
+
+  let pending_count () =
+    Mutex.lock mutex;
+    let n = List.length !pending in
+    Mutex.unlock mutex;
+    n
 end
 
 (* ------------------------------------------------------------------ *)
@@ -1180,6 +1207,17 @@ let try_find_task pool my_idx rng =
 let execute pool idx task =
   let c = pool.counters.(idx) in
   c.(c_tasks) <- c.(c_tasks) + 1;
+  (* Live-metrics GC probe: [Gc.quick_stat] is only meaningful on the owning
+     domain, so each worker samples its own counters here, at most once per
+     64 executed tasks.  One atomic load when the bit is off. *)
+  if
+    Atomic.get instr_flags land gc_sampling_bit <> 0
+    && c.(c_tasks) land 63 = 0
+  then begin
+    let s = Gc.quick_stat () in
+    c.(c_gc_minors) <- s.Gc.minor_collections;
+    c.(c_gc_minor_kwords) <- int_of_float (s.Gc.minor_words *. 1e-3)
+  end;
   if Fault.armed () then Fault.stall_site ();
   if Trace.enabled () then begin
     let t0 = Trace.now_us () in
@@ -1976,6 +2014,18 @@ let run ?deadline pool f =
      | _ -> Printexc.raise_with_backtrace e bt)
 
 let current_worker = my_index
+
+(* Live scheduler gauges for the metrics plane: instantaneous per-worker
+   deque depths (racy [Ws_deque.size] reads — a point-in-time occupancy
+   sketch, not an invariant) and the latest per-worker GC samples written by
+   the gated probe in [execute]. *)
+let deque_depths pool =
+  Array.init pool.num_workers (fun i -> Ws_deque.size pool.deques.(i))
+
+let gc_samples pool =
+  Array.init pool.num_workers (fun i ->
+      let c = pool.counters.(i) in
+      (c.(c_gc_minors), c.(c_gc_minor_kwords)))
 
 (* Deprecated compat wrapper over [Stats]; kept so old callers and scripts
    that scrape the one-line form keep working. *)

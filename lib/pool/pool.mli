@@ -100,6 +100,11 @@ module Timer : sig
   (** Stop and join the timer domain (pending timers are abandoned).  The
       next {!schedule} spawns a fresh one.  Called automatically at
       process exit. *)
+
+  val pending_count : unit -> int
+  (** Number of timers currently armed (scheduled and neither fired nor
+      cancelled) — the timer-wheel occupancy gauge of the live metrics
+      plane. *)
 end
 
 val cancel_run : t -> exn -> unit
@@ -350,6 +355,23 @@ val parallel_chunks :
 val current_worker : t -> int option
 (** The calling domain's worker index, if it is executing on this pool.
     Useful for per-worker scratch state. *)
+
+val deque_depths : t -> int array
+(** Instantaneous per-worker deque depths — racy point-in-time reads, a
+    live-load sketch for the metrics plane, not a synchronized snapshot. *)
+
+val gc_samples : t -> (int * int) array
+(** Latest per-worker [(minor_collections, minor_kwords)] GC samples.  Only
+    populated while {!set_gc_sampling} is on: each worker samples its own
+    [Gc.quick_stat] at most once per 64 executed tasks (a domain's GC
+    counters can only be read from that domain).  Zeros otherwise. *)
+
+val set_gc_sampling : bool -> unit
+(** Arm or disarm the per-worker GC probe behind {!gc_samples}.  Shares the
+    process-global instrumentation switch word with {!Trace} / {!Recorder}:
+    one atomic load per executed task while off. *)
+
+val gc_sampling : unit -> bool
 
 (** {1 Scheduler telemetry}
 

@@ -129,6 +129,7 @@ let float_field k fields =
 
 type request = {
   id : int;
+  verb : string;
   bench : string;
   input : string option;
   mode : string;
@@ -138,12 +139,18 @@ type request = {
   spin_ms : int;
 }
 
-let request ?input ?(mode = "unsafe") ?(scale = 0) ?(policy = "default")
-    ?deadline_s ?(spin_ms = 0) ~id ~bench () =
-  { id; bench; input; mode; scale; policy; deadline_s; spin_ms }
+let request ?(verb = "run") ?input ?(mode = "unsafe") ?(scale = 0)
+    ?(policy = "default") ?deadline_s ?(spin_ms = 0) ~id ~bench () =
+  { id; verb; bench; input; mode; scale; policy; deadline_s; spin_ms }
+
+let stats_request ~id = request ~verb:"stats" ~id ~bench:"-" ()
 
 let request_line r =
   let b = Buffer.create 96 in
+  (* [verb=run] is implicit on the wire, so pre-verb servers keep parsing
+     plain run requests unchanged. *)
+  if r.verb <> "run" then
+    Buffer.add_string b (Printf.sprintf "verb=%s " (sanitize r.verb));
   Buffer.add_string b
     (Printf.sprintf "id=%d bench=%s mode=%s scale=%d policy=%s" r.id
        (sanitize r.bench) (sanitize r.mode) r.scale (sanitize r.policy));
@@ -169,10 +176,13 @@ let parse_request line =
     | Ok None -> Error "missing id field"
     | Error e -> Error e
   in
+  let verb = Option.value (find "verb" fields) ~default:"run" in
   let* bench =
     match find "bench" fields with
     | Some b when b <> "" -> Ok b
-    | _ -> Error "missing bench field"
+    | _ ->
+      (* Non-run verbs (e.g. [stats]) address the server, not a bench. *)
+      if verb = "run" then Error "missing bench field" else Ok "-"
   in
   let* scale = int_field "scale" fields in
   let* deadline_ms = int_field "deadline_ms" fields in
@@ -192,6 +202,7 @@ let parse_request line =
   Ok
     {
       id;
+      verb;
       bench;
       input = find "input" fields;
       mode = Option.value (find "mode" fields) ~default:"unsafe";

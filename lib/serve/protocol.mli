@@ -46,7 +46,12 @@ val write_frame : Unix.file_descr -> string -> unit
 
 type request = {
   id : int;  (** client-chosen; echoed in the reply *)
-  bench : string;  (** registry benchmark name, or ["spin"] *)
+  verb : string;
+      (** ["run"] (implicit on the wire) executes a job; ["stats"] asks for
+          a live metrics snapshot — the reply frame is the raw
+          [kind="metrics"] JSON document, not a [key=value] line *)
+  bench : string;  (** registry benchmark name, or ["spin"]; ["-"] for
+                       non-run verbs *)
   input : string option;  (** benchmark input (default: the entry's first) *)
   mode : string;  (** "unsafe" | "checked" | "sync" *)
   scale : int;
@@ -55,10 +60,15 @@ type request = {
   spin_ms : int;  (** busy-work duration for [bench = "spin"] *)
 }
 
-val request : ?input:string -> ?mode:string -> ?scale:int -> ?policy:string ->
-  ?deadline_s:float -> ?spin_ms:int -> id:int -> bench:string -> unit -> request
-(** Request with protocol defaults ([mode = "unsafe"], [scale = 0],
-    [policy = "default"], no deadline). *)
+val request : ?verb:string -> ?input:string -> ?mode:string -> ?scale:int ->
+  ?policy:string -> ?deadline_s:float -> ?spin_ms:int -> id:int ->
+  bench:string -> unit -> request
+(** Request with protocol defaults ([verb = "run"], [mode = "unsafe"],
+    [scale = 0], [policy = "default"], no deadline). *)
+
+val stats_request : id:int -> request
+(** A [verb=stats] request: the server replies with one frame whose payload
+    is the current live-metrics snapshot as JSON. *)
 
 val request_line : request -> string
 val parse_request : string -> (request, string) result

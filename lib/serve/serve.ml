@@ -4,6 +4,7 @@
    a pool. *)
 
 module Pool = Rpb_pool.Pool
+module Metrics = Rpb_obs.Metrics
 open Rpb_benchmarks
 
 type config = {
@@ -16,6 +17,11 @@ type config = {
   preload : (string * string option * int) list;
   json_path : string option;
   quiet : bool;
+  minor_heap_kb : int option;
+  metrics_path : string option;
+  metrics_interval_s : float;
+  slow_log : int;
+  slow_pctl : float;
 }
 
 let default_config ~socket_path =
@@ -29,7 +35,34 @@ let default_config ~socket_path =
     preload = [];
     json_path = None;
     quiet = false;
+    minor_heap_kb = None;
+    metrics_path = None;
+    metrics_interval_s = 1.0;
+    slow_log = 8;
+    slow_pctl = 99.0;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Live-metrics instruments.  Find-or-create on a process-global registry,
+   so module initialization is the natural creation point; every bump below
+   costs one atomic load while the plane is disabled. *)
+
+let m_accepted = Metrics.counter "serve.accepted"
+let m_ok = Metrics.counter "serve.ok"
+let m_shed = Metrics.counter "serve.shed"
+let m_stalled = Metrics.counter "serve.stalled"
+let m_cancelled = Metrics.counter "serve.cancelled"
+let m_failed = Metrics.counter "serve.failed"
+let m_rejected = Metrics.counter "serve.rejected"
+let m_shutdown_replies = Metrics.counter "serve.shutdown_replies"
+let m_disconnects = Metrics.counter "serve.disconnects"
+let m_connections = Metrics.counter "serve.connections"
+let m_stats_requests = Metrics.counter "serve.stats_requests"
+let m_slow_logged = Metrics.counter "serve.slow_logged"
+let m_queue_hist = Metrics.histogram "serve.queue_ms"
+let m_exec_hist = Metrics.histogram "serve.exec_ms"
+let m_total_hist = Metrics.histogram "serve.total_ms"
+let m_ewma = Metrics.gauge "serve.ewma_service_ms"
 
 type stats = {
   accepted : int;
@@ -96,6 +129,13 @@ type t = {
   mutable executor : unit Domain.t option;
   smutex : Mutex.t;  (* serializes [stop] *)
   mutable stopped : bool;
+  (* --- live metrics plane --- *)
+  mmutex : Mutex.t;  (* guards the JSONL channel and the slow-request log *)
+  mutable metrics_oc : out_channel option;
+  mutable metrics_thread : Thread.t option;
+  metrics_stop : bool Atomic.t;
+  mutable slow_docs : Bench_json.json list;  (* newest first, capped *)
+  mutable n_slow : int;
 }
 
 let socket_path t = t.cfg.socket_path
@@ -132,13 +172,13 @@ let log t fmt =
 (* Writes race with connection teardown: [alive] flips under [wmutex]
    before the reader thread closes the fd, so a reply is either written to
    the live fd or dropped — never written to a recycled descriptor. *)
-let send conn reply =
+let send_payload conn payload =
   Mutex.lock conn.wmutex;
-  (try
-     if conn.alive then
-       Protocol.write_frame conn.fd (Protocol.reply_line reply)
+  (try if conn.alive then Protocol.write_frame conn.fd payload
    with Unix.Unix_error _ | Sys_error _ -> ());
   Mutex.unlock conn.wmutex
+
+let send conn reply = send_payload conn (Protocol.reply_line reply)
 
 let err ?(id = -1) ?retry_after_ms kind msg =
   Protocol.Err_reply { id; kind; retry_after_ms; msg }
@@ -157,9 +197,12 @@ let resolve_pool t name =
       let policy = Option.get (Pool.Policy.find name) in
       let p =
         Pool.create ~name:("serve-" ^ name) ~policy
-          ~num_workers:t.cfg.threads ()
+          ?minor_heap_kb:t.cfg.minor_heap_kb ~num_workers:t.cfg.threads ()
       in
       Hashtbl.replace t.pools name p;
+      (* Export the per-policy pool's scheduler gauges alongside the
+         default pool's ([pool.*]). *)
+      Metrics.register_pool ~prefix:("pool." ^ name) p;
       p
   in
   Mutex.unlock t.pmutex;
@@ -227,8 +270,15 @@ let run_bench t pool (req : Protocol.request) =
 let execute t job pool =
   let req = job.req in
   let queue_ms = (Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3 in
+  (* Request-scoped scheduler tracing: the whole run executes under a span
+     named for the request, so when the flight recorder is armed (the
+     slow-request log, or an operator-started [Trace]/[Recorder] session)
+     every Phase event attributes scheduler behaviour to a request id.
+     One atomic load when all instrumentation is off. *)
+  let span_name = Printf.sprintf "request:%d:%s" req.id req.bench in
   let attempt () =
-    if req.bench = "spin" then run_spin pool req else run_bench t pool req
+    Pool.Trace.span pool span_name (fun () ->
+        if req.bench = "spin" then run_spin pool req else run_bench t pool req)
   in
   match
     try attempt ()
@@ -270,6 +320,12 @@ let record t ~(job : job) ~policy_name ~status ~queue_ms ~exec_ms =
   end
 
 let bump t status =
+  (match status with
+  | "ok" -> Metrics.incr m_ok
+  | "stalled" -> Metrics.incr m_stalled
+  | "cancelled" -> Metrics.incr m_cancelled
+  | "shutdown" -> Metrics.incr m_shutdown_replies
+  | _ -> Metrics.incr m_failed);
   t.c <-
     (match status with
     | "ok" -> { t.c with ok = t.c.ok + 1 }
@@ -277,6 +333,67 @@ let bump t status =
     | "cancelled" -> { t.c with cancelled = t.c.cancelled + 1 }
     | "shutdown" -> { t.c with shutdown_replies = t.c.shutdown_replies + 1 }
     | _ -> { t.c with failed = t.c.failed + 1 })
+
+(* ------------------------------------------------------------------ *)
+(* Slow-request log.  While the metrics plane is on and [slow_log > 0],
+   every request executes under a private flight-recorder session; a
+   request whose exec time clears the [slow_pctl] percentile of the exec
+   histogram (threshold frozen before the request runs, and never before
+   32 samples exist) keeps its recording, reduced by [Sp_dag.analyze] to a
+   PROFILE-compatible document — so `rpb report` and the work/span
+   tooling render a slow production request exactly like an `rpb profile`
+   run. *)
+
+let slow_sample_floor = 32
+
+let slow_active t = t.cfg.slow_log > 0 && Metrics.enabled ()
+
+let slow_threshold_ms t =
+  if not (slow_active t) then infinity
+  else if Metrics.hist_count m_exec_hist < slow_sample_floor then infinity
+  else Metrics.percentile_ms m_exec_hist t.cfg.slow_pctl
+
+let slow_doc t (job : job) ~policy_name ~exec_ms recording =
+  let req = job.req in
+  let metrics = Rpb_obs.Sp_dag.analyze recording in
+  Rpb_obs.Profile.to_json
+    {
+      Rpb_obs.Profile.bench = req.Protocol.bench;
+      input = Option.value req.Protocol.input ~default:"-";
+      size = Printf.sprintf "slow request id=%d" req.Protocol.id;
+      mode = req.Protocol.mode;
+      scale = req.Protocol.scale;
+      threads = t.cfg.threads;
+      seed = 0;
+      elapsed_ns = exec_ms *. 1e6;
+      verified = true;
+      workers = [];
+      policy = policy_name;
+      metrics;
+    }
+
+let rec list_take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: list_take (n - 1) rest
+
+let push_slow t doc =
+  Metrics.incr m_slow_logged;
+  Mutex.lock t.mmutex;
+  t.slow_docs <- doc :: list_take (t.cfg.slow_log - 1) t.slow_docs;
+  t.n_slow <- min t.cfg.slow_log (t.n_slow + 1);
+  (* Stream it into the metrics JSONL too: the report loader classifies
+     each line by kind, so the doc lands in the dashboard's profile
+     section on its own. *)
+  (match t.metrics_oc with
+  | Some oc -> (
+    try
+      output_string oc (Bench_json.to_string doc);
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ -> ())
+  | None -> ());
+  Mutex.unlock t.mmutex
 
 let executor_loop t =
   let running = ref true in
@@ -299,8 +416,9 @@ let executor_loop t =
       end
       else if Atomic.get job.jcancelled then begin
         bump t "cancelled";
-        record t ~job ~policy_name:"-" ~status:"cancelled"
-          ~queue_ms:((Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3)
+        let queue_ms = (Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3 in
+        Metrics.observe_ms m_queue_hist queue_ms;
+        record t ~job ~policy_name:"-" ~status:"cancelled" ~queue_ms
           ~exec_ms:0.;
         Mutex.unlock t.qmutex
       end
@@ -311,15 +429,42 @@ let executor_loop t =
         Mutex.lock t.qmutex;
         t.inflight <- Some (job, pool);
         Mutex.unlock t.qmutex;
+        (* Freeze the slow threshold before this request's own sample can
+           move it, then run under a private recorder session. *)
+        let threshold_ms = slow_threshold_ms t in
+        let recording_armed = slow_active t in
+        if recording_armed then
+          Pool.Recorder.start ~ring_capacity:4096 ~policy_name ();
+        let qwait_ms = (Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3 in
         let status, reply, exec_ms = execute t job pool in
+        let recording =
+          if recording_armed then Some (Pool.Recorder.stop ()) else None
+        in
         let queue_ms = (Rpb_prim.Timing.now () -. job.enqueued_at) *. 1e3 in
+        (* Histogram observations sit directly against the status-counter
+           bump: a stats snapshot racing this request sees histogram
+           totals at most one ahead of the counters (the single in-flight
+           request), which is exactly the skew Top.check_invariants
+           allows.  The expensive slow-request analysis runs after both,
+           outside the window. *)
+        Metrics.observe_ms m_queue_hist qwait_ms;
+        if status = "ok" then begin
+          Metrics.observe_ms m_exec_hist exec_ms;
+          Metrics.observe_ms m_total_hist (qwait_ms +. exec_ms)
+        end;
         Mutex.lock t.qmutex;
         t.inflight <- None;
         bump t status;
-        if status = "ok" then
+        if status = "ok" then begin
           t.ewma_ms <- (0.8 *. t.ewma_ms) +. (0.2 *. exec_ms);
+          Metrics.set_gauge m_ewma t.ewma_ms
+        end;
         record t ~job ~policy_name ~status ~queue_ms ~exec_ms;
         Mutex.unlock t.qmutex;
+        (match recording with
+        | Some r when status = "ok" && exec_ms >= threshold_ms ->
+          push_slow t (slow_doc t job ~policy_name ~exec_ms r)
+        | _ -> ());
         match reply with Some r -> send job.jconn r | None -> ()
       end
     end
@@ -384,6 +529,7 @@ let admit t conn (req : Protocol.request) =
     in
     if occupancy >= t.cfg.max_queue then begin
       t.c <- { t.c with shed = t.c.shed + 1 };
+      Metrics.incr m_shed;
       let hint = retry_after_ms t occupancy in
       Mutex.unlock t.qmutex;
       send conn
@@ -400,6 +546,7 @@ let admit t conn (req : Protocol.request) =
         }
       in
       Queue.push job t.queue;
+      Metrics.incr m_accepted;
       t.c <-
         {
           t.c with
@@ -411,21 +558,36 @@ let admit t conn (req : Protocol.request) =
     end
   end
 
+let reject t conn reply =
+  Mutex.lock t.qmutex;
+  t.c <- { t.c with rejected = t.c.rejected + 1 };
+  Mutex.unlock t.qmutex;
+  Metrics.incr m_rejected;
+  send conn reply
+
+(* [verb=stats] bypasses admission entirely (no queue slot, no executor
+   round-trip): the reply frame's payload is the raw [kind="metrics"]
+   snapshot JSON.  Served even while draining — drain is exactly when an
+   operator wants a last look. *)
+let handle_stats t conn (_req : Protocol.request) =
+  ignore t;
+  Metrics.incr m_stats_requests;
+  send_payload conn (Bench_json.to_string (Metrics.snapshot ()))
+
 let handle_line t conn line =
   match Protocol.parse_request line with
-  | Error msg ->
-    Mutex.lock t.qmutex;
-    t.c <- { t.c with rejected = t.c.rejected + 1 };
-    Mutex.unlock t.qmutex;
-    send conn (err Protocol.Malformed_request msg)
+  | Error msg -> reject t conn (err Protocol.Malformed_request msg)
   | Ok req -> (
-    match validate t req with
-    | Error (kind, msg) ->
-      Mutex.lock t.qmutex;
-      t.c <- { t.c with rejected = t.c.rejected + 1 };
-      Mutex.unlock t.qmutex;
-      send conn (err ~id:req.id kind msg)
-    | Ok () -> admit t conn req)
+    match req.verb with
+    | "stats" -> handle_stats t conn req
+    | "run" -> (
+      match validate t req with
+      | Error (kind, msg) -> reject t conn (err ~id:req.id kind msg)
+      | Ok () -> admit t conn req)
+    | v ->
+      reject t conn
+        (err ~id:req.id Protocol.Malformed_request
+           ("unknown verb " ^ Protocol.sanitize v)))
 
 (* ------------------------------------------------------------------ *)
 (* Connection lifecycle *)
@@ -453,8 +615,10 @@ let on_conn_end t conn ~clean =
       outstanding := true;
       Pool.cancel_run pool Pool.Cancelled
     | _ -> ());
-    if (not clean) || !outstanding then
+    if (not clean) || !outstanding then begin
       t.c <- { t.c with disconnects = t.c.disconnects + 1 };
+      Metrics.incr m_disconnects
+    end;
     Mutex.unlock t.qmutex
   end
 
@@ -473,10 +637,7 @@ let conn_loop t conn =
    with
   | Protocol.Malformed msg ->
     (* Framing is gone — reply once, then drop the connection. *)
-    Mutex.lock t.qmutex;
-    t.c <- { t.c with rejected = t.c.rejected + 1 };
-    Mutex.unlock t.qmutex;
-    send conn (err Protocol.Malformed_request msg)
+    reject t conn (err Protocol.Malformed_request msg)
   | Unix.Unix_error _ | Sys_error _ -> ()
   | _ -> ());
   on_conn_end t conn ~clean:!clean;
@@ -494,7 +655,10 @@ let accept_loop t =
     | fd, _ ->
       Mutex.lock t.qmutex;
       let draining = t.draining in
-      if not draining then t.c <- { t.c with connections = t.c.connections + 1 };
+      if not draining then begin
+        t.c <- { t.c with connections = t.c.connections + 1 };
+        Metrics.incr m_connections
+      end;
       Mutex.unlock t.qmutex;
       if draining then begin
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -547,6 +711,8 @@ let artifact_json t =
             ("policy", Str t.cfg.policy);
             ("max_queue", Int t.cfg.max_queue);
             ("scale_cap", Int t.cfg.scale_cap);
+            ( "minor_heap_kb",
+              match t.cfg.minor_heap_kb with Some kb -> Int kb | None -> Null );
             ("uptime_s", Float (Rpb_prim.Timing.now () -. t.started_at));
           ] );
       ( "counters",
@@ -567,6 +733,7 @@ let artifact_json t =
       ("ewma_service_ms", Float t.ewma_ms);
       ("exec_latency", Latency.(summary_to_json (summarize exec_lat)));
       ("requests", List reqs);
+      ("slow_requests", List (List.rev t.slow_docs));
     ]
 
 let write_artifact t =
@@ -609,7 +776,8 @@ let start cfg =
       Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
       Unix.listen listen_fd 64;
       let pool =
-        Pool.create ~name:"serve" ~policy ~num_workers:cfg.threads ()
+        Pool.create ~name:"serve" ~policy ?minor_heap_kb:cfg.minor_heap_kb
+          ~num_workers:cfg.threads ()
       in
       let t =
         {
@@ -635,10 +803,59 @@ let start cfg =
           executor = None;
           smutex = Mutex.create ();
           stopped = false;
+          mmutex = Mutex.create ();
+          metrics_oc = None;
+          metrics_thread = None;
+          metrics_stop = Atomic.make false;
+          slow_docs = [];
+          n_slow = 0;
         }
       in
       Hashtbl.replace t.pools cfg.policy pool;
+      (* The serving layer always runs with the metrics plane on: that is
+         its whole observability story ([stats] verb, [rpb top], slow-request
+         log).  Batch/bench paths leave it off and pay one atomic load. *)
+      Metrics.enable ();
+      Metrics.register_pool pool;
+      ignore (Metrics.sample_gc_pauses ());
+      Metrics.probe "serve.occupancy" (fun () ->
+          Mutex.lock t.qmutex;
+          let o =
+            Queue.length t.queue
+            + (match t.inflight with Some _ -> 1 | None -> 0)
+          in
+          Mutex.unlock t.qmutex;
+          float_of_int o);
+      Metrics.probe "serve.queue_depth" (fun () ->
+          Mutex.lock t.qmutex;
+          let n = Queue.length t.queue in
+          Mutex.unlock t.qmutex;
+          float_of_int n);
+      Metrics.probe "serve.connections_live" (fun () ->
+          Mutex.lock t.cmutex;
+          let n = List.length t.live_conns in
+          Mutex.unlock t.cmutex;
+          float_of_int n);
       preload_all t pool;
+      (match cfg.metrics_path with
+      | Some path ->
+        let oc = open_out path in
+        t.metrics_oc <- Some oc;
+        Mutex.lock t.mmutex;
+        Metrics.write_snapshot_line oc;
+        Mutex.unlock t.mmutex;
+        t.metrics_thread <-
+          Some
+            (Thread.create
+               (fun () ->
+                 while not (Atomic.get t.metrics_stop) do
+                   Unix.sleepf cfg.metrics_interval_s;
+                   Mutex.lock t.mmutex;
+                   (try Metrics.write_snapshot_line oc with Sys_error _ -> ());
+                   Mutex.unlock t.mmutex
+                 done)
+               ())
+      | None -> ());
       t.executor <- Some (Domain.spawn (fun () -> executor_loop t));
       t.accept_thread <- Some (Thread.create accept_loop t);
       log t "listening on %s (threads=%d policy=%s max_queue=%d)"
@@ -692,11 +909,29 @@ let stop t =
     let threads = t.conn_threads in
     Mutex.unlock t.cmutex;
     List.iter Thread.join threads;
+    (* Final metrics snapshot, then retire the JSONL stream. *)
+    Atomic.set t.metrics_stop true;
+    Option.iter Thread.join t.metrics_thread;
+    t.metrics_thread <- None;
+    Mutex.lock t.mmutex;
+    (match t.metrics_oc with
+    | Some oc ->
+      (try
+         Metrics.write_snapshot_line oc;
+         close_out oc
+       with Sys_error _ -> ());
+      t.metrics_oc <- None
+    | None -> ());
+    Mutex.unlock t.mmutex;
     write_artifact t;
     Mutex.lock t.pmutex;
     Hashtbl.iter (fun _ p -> Pool.shutdown p) t.pools;
     Hashtbl.reset t.pools;
     Mutex.unlock t.pmutex;
+    (* The shared timer wheel spawned its domain for our deadlines and the
+       drain-grace timer; retire it with the server so a drained process
+       holds no background domain. *)
+    Pool.Timer.shutdown ();
     t.stopped <- true;
     log t "stopped (ok=%d shed=%d stalled=%d cancelled=%d failed=%d)" t.c.ok
       t.c.shed t.c.stalled t.c.cancelled t.c.failed

@@ -27,9 +27,27 @@
     requests, let the in-flight request finish within [drain_grace_s]
     (cancelling it when the grace timer — on the shared
     {!Rpb_pool.Pool.Timer} wheel — fires first), then join every thread,
-    write the [kind="serve"] artifact, and shut the pools down.  No
+    write the [kind="serve"] artifact, and shut the pools down (including
+    the shared timer wheel, via {!Rpb_pool.Pool.Timer.shutdown}).  No
     failure mode (faults, stalls, disconnects, floods of garbage bytes)
-    may kill the process or poison a pool. *)
+    may kill the process or poison a pool.
+
+    {2 Live metrics}
+
+    {!start} enables the process-global {!Rpb_obs.Metrics} plane and
+    registers every pool's scheduler gauges.  Request handling feeds
+    [serve.*] counters and queue/exec/total latency histograms; the
+    [verb=stats] protocol request replies with a point-in-time
+    [kind="metrics"] snapshot (served even while draining), which is what
+    [rpb top] renders.  With [metrics_path] set, a sampler thread appends
+    one snapshot per [metrics_interval_s] to a JSONL file — the
+    [kind="metrics"] lines feed the report dashboard's time-series
+    section.  With [slow_log > 0], every request runs under a private
+    flight-recorder session and requests whose exec time clears the
+    [slow_pctl] percentile of the exec histogram (threshold frozen before
+    the run; never before 32 samples) are reduced by
+    {!Rpb_obs.Sp_dag.analyze} to PROFILE-compatible documents, kept in the
+    artifact's [slow_requests] and streamed into the JSONL. *)
 
 type config = {
   socket_path : string;
@@ -43,12 +61,24 @@ type config = {
           requests don't pay input generation *)
   json_path : string option;  (** where {!stop} writes the serve artifact *)
   quiet : bool;
+  minor_heap_kb : int option;
+      (** per-worker-domain minor heap size for every pool the server
+          creates; stamped into the artifact's [meta] *)
+  metrics_path : string option;
+      (** append one [kind="metrics"] snapshot per interval as JSONL *)
+  metrics_interval_s : float;  (** sampler period (default 1.0) *)
+  slow_log : int;
+      (** keep at most this many slow-request profiles (0 disables) *)
+  slow_pctl : float;
+      (** exec-time percentile a request must clear to be logged as slow *)
 }
 
 val default_config : socket_path:string -> config
 (** [threads = Domain.recommended_domain_count () - 1] (min 1),
     [policy = "default"], [max_queue = 16], [drain_grace_s = 2.0],
-    [scale_cap = 6], no preload, no artifact, not quiet. *)
+    [scale_cap = 6], no preload, no artifact, not quiet, no
+    [minor_heap_kb], no metrics JSONL, [metrics_interval_s = 1.0],
+    [slow_log = 8], [slow_pctl = 99.0]. *)
 
 type stats = {
   accepted : int;  (** requests admitted to the queue *)

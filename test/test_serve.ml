@@ -380,6 +380,68 @@ let test_serve_drain_replies_to_queued () =
               (kind = Protocol.Shutting_down || kind = Protocol.Cancelled))
         seen)
 
+(* ---------- the stats verb and the live metrics plane ---------- *)
+
+let stats_snapshot conn =
+  let fd, r = conn in
+  Protocol.write_frame fd (Protocol.request_line (Protocol.stats_request ~id:0));
+  match Protocol.read_frame r with
+  | None -> Alcotest.fail "EOF on stats request"
+  | Some payload -> (
+    match Top.parse_snapshot (Bench_json.of_string payload) with
+    | Ok s -> s
+    | Error e -> Alcotest.fail ("stats reply: " ^ e))
+
+let test_serve_stats_verb () =
+  with_server (fun t ->
+      let conn = connect t in
+      Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+      let get name (s : Top.snap) =
+        Option.value (List.assoc_opt name s.Top.counters) ~default:0
+      in
+      let hist_count name (s : Top.snap) =
+        match List.assoc_opt name s.Top.hists with
+        | Some h -> h.Top.count
+        | None -> 0
+      in
+      (* Counters are process-global (several servers run in this binary),
+         so the reconciliation is on deltas between two snapshots taken
+         over the same connection. *)
+      let s0 = stats_snapshot conn in
+      let n = 5 in
+      for i = 1 to n do
+        match rpc conn (Protocol.request ~id:i ~bench:"hist" ()) with
+        | Protocol.Ok_reply _ -> ()
+        | Protocol.Err_reply { kind; msg; _ } ->
+          Alcotest.fail
+            (Printf.sprintf "request %d: %s %s" i
+               (Protocol.error_kind_name kind)
+               msg)
+      done;
+      let s1 = stats_snapshot conn in
+      Alcotest.(check int) "serve.ok advanced by the replies" n
+        (get "serve.ok" s1 - get "serve.ok" s0);
+      Alcotest.(check int) "serve.accepted advanced too" n
+        (get "serve.accepted" s1 - get "serve.accepted" s0);
+      Alcotest.(check int) "exec histogram sampled each ok" n
+        (hist_count "serve.exec_ms" s1 - hist_count "serve.exec_ms" s0);
+      Alcotest.(check bool) "stats requests counted" true
+        (get "serve.stats_requests" s1 > get "serve.stats_requests" s0);
+      (* The full invariant set rpb top --check runs in CI. *)
+      (match Top.check_invariants ~prev:(Some s0) s1 with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("invariant: " ^ msg));
+      (* Unknown verbs reject without killing the connection. *)
+      (match
+         rpc conn (Protocol.request ~verb:"selfdestruct" ~id:99 ~bench:"-" ())
+       with
+      | Protocol.Err_reply { kind = Protocol.Malformed_request; _ } -> ()
+      | _ -> Alcotest.fail "unknown verb should reject as malformed");
+      match rpc conn (Protocol.request ~id:100 ~bench:"hist" ()) with
+      | Protocol.Ok_reply _ -> ()
+      | Protocol.Err_reply _ ->
+        Alcotest.fail "connection should survive an unknown verb")
+
 (* ---------- the seeded overload/fault soak ---------- *)
 
 let test_serve_fault_soak () =
@@ -503,6 +565,8 @@ let () =
             test_serve_disconnect_cancels;
           Alcotest.test_case "drain replies to queued" `Quick
             test_serve_drain_replies_to_queued;
+          Alcotest.test_case "stats verb reconciles" `Quick
+            test_serve_stats_verb;
         ] );
       ( "soak",
         [
