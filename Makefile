@@ -1,6 +1,6 @@
 .PHONY: all build typecheck test bench examples doc clean check-race check-fault \
 	profile-smoke compare-smoke report-smoke perf-gate save-baseline \
-	policy-race-smoke granularity-smoke serve-smoke metrics-smoke
+	policy-race-smoke granularity-smoke serve-smoke metrics-smoke slo-smoke
 
 all: build
 
@@ -134,39 +134,69 @@ serve-smoke:
 # protocol and asserts the snapshot invariants — counters monotone,
 # sequence advancing, and every latency histogram's totals reconciling
 # with the request status counters (exit 4 on a violation).  The server
-# is drained with SIGTERM, all three artifacts feed one dashboard, and
-# the JSONL is checked to actually carry kind=metrics docs.  The binary
-# is prebuilt and run from _build directly so the three concurrent
-# processes never contend on the dune lock; the outer timeouts are the
-# hang detectors of last resort.
+# boot/drain choreography lives in scripts/with_server.sh (shared with
+# slo-smoke): the binary is prebuilt and run from _build directly so
+# concurrent processes never contend on the dune lock, the server is
+# drained with SIGTERM, and the outer timeouts are the hang detectors of
+# last resort.
 metrics-smoke:
 	dune build bin/rpb.exe
-	rm -f /tmp/rpb-metrics-smoke.sock METRICS_serve.jsonl
-	status=0; \
-	_build/default/bin/rpb.exe serve --socket /tmp/rpb-metrics-smoke.sock \
-	  --threads 4 --max-queue 16 --preload hist --preload sort \
-	  --metrics-json METRICS_serve.jsonl --metrics-interval 0.25 \
-	  --slow-log 4 --slow-pctl 90 --json SERVE_metrics_server.json --quiet & \
-	server=$$!; \
-	i=0; until test -S /tmp/rpb-metrics-smoke.sock || test $$i -ge 50; \
-	  do sleep 0.1; i=$$((i + 1)); done; \
-	timeout 300 _build/default/bin/rpb.exe loadgen \
-	  --socket /tmp/rpb-metrics-smoke.sock \
-	  --clients 4 -n 12 --bench hist,sort --bench spin --spin-ms 25 \
-	  --burst 24 --kill-every 9 --seed 42 \
-	  --json SERVE_metrics_loadgen.json || status=$$?; \
-	timeout 60 _build/default/bin/rpb.exe top \
-	  --socket /tmp/rpb-metrics-smoke.sock --check -n 2 --interval 0.3 \
-	  || status=$$?; \
-	kill -TERM $$server 2>/dev/null; \
-	wait $$server || status=$$?; \
-	exit $$status
+	rm -f METRICS_serve.jsonl
+	server='--threads 4 --max-queue 16 --preload hist --preload sort'; \
+	server="$$server --metrics-json METRICS_serve.jsonl --metrics-interval 0.25"; \
+	server="$$server --slow-log 4 --slow-pctl 90"; \
+	server="$$server --json SERVE_metrics_server.json --quiet"; \
+	drive='timeout 300 $$RPB loadgen --socket $$SOCK'; \
+	drive="$$drive --clients 4 -n 12 --bench hist,sort --bench spin --spin-ms 25"; \
+	drive="$$drive --burst 24 --kill-every 9 --seed 42"; \
+	drive="$$drive --json SERVE_metrics_loadgen.json"; \
+	drive="$$drive && timeout 60 \$$RPB top --socket \$$SOCK --check -n 2 --interval 0.3"; \
+	scripts/with_server.sh /tmp/rpb-metrics-smoke.sock "$$server" "$$drive"
 	grep -q '"kind":"metrics"' METRICS_serve.jsonl
 	dune exec bin/rpb.exe -- report METRICS_serve.jsonl \
 	  SERVE_metrics_loadgen.json SERVE_metrics_server.json \
 	  -o REPORT_metrics.html --md REPORT_metrics.md
 	test -s REPORT_metrics.md
 	grep -q 'Live metrics' REPORT_metrics.md
+
+# CI slo-smoke job: the SLO engine and health plane end to end.  A server
+# boots with a tight latency objective and second-scale burn windows; the
+# health verb must report ok at boot, degrade to unhealthy (both windows
+# paging) while a spin-heavy load burns the budget — with admission
+# visibly tightened (the effective queue cap drops and overload sheds
+# carry a scaled retry hint) — and recover to ok once the load stops and
+# hysteresis steps the level back down.  The drained JSONL then replays
+# offline: `rpb slo --check` must exit 0 against a loose objective and 4
+# against the tight one (the injected violation), and the kind=slo
+# artifact feeds the dashboard's "SLO & error budget" section.
+slo-smoke:
+	dune build bin/rpb.exe
+	rm -f SLO_metrics.jsonl SLO_replay.json
+	server='--threads 2 --max-queue 8'; \
+	server="$$server --metrics-json SLO_metrics.jsonl --metrics-interval 0.25"; \
+	server="$$server --slo latency:serve.exec_ms:p95<5;avail:0.99"; \
+	server="$$server --slo-fast-s 1.5 --slo-slow-s 6 --quiet"; \
+	drive='set -e; timeout 30 $$RPB slo --socket $$SOCK --expect ok --wait 10; '; \
+	drive="$$drive( i=0; while test \$$i -lt 6; do"; \
+	drive="$$drive timeout 60 \$$RPB loadgen --socket \$$SOCK --clients 4 -n 20"; \
+	drive="$$drive --bench spin --spin-ms 25 --mean-gap-ms 1 --seed \$$i"; \
+	drive="$$drive --max-retries 2 --quiet >/dev/null 2>&1 || true;"; \
+	drive="$$drive i=\$$((i + 1)); done ) & load=\$$!;"; \
+	drive="$$drive timeout 60 \$$RPB slo --socket \$$SOCK --expect unhealthy --wait 45;"; \
+	drive="$$drive wait \$$load;"; \
+	drive="$$drive timeout 60 \$$RPB slo --socket \$$SOCK --expect ok --wait 30"; \
+	scripts/with_server.sh /tmp/rpb-slo-smoke.sock "$$server" "$$drive"
+	grep -q '"slo.level"' SLO_metrics.jsonl
+	timeout 60 _build/default/bin/rpb.exe slo SLO_metrics.jsonl \
+	  --slo 'latency:serve.exec_ms:p95<5000;avail:0.5' \
+	  --fast-s 1.5 --slow-s 6 --check
+	timeout 60 _build/default/bin/rpb.exe slo SLO_metrics.jsonl \
+	  --slo 'latency:serve.exec_ms:p95<5' --fast-s 1.5 --slow-s 6 \
+	  --json SLO_replay.json --check; \
+	  test $$? -eq 4
+	dune exec bin/rpb.exe -- report SLO_replay.json SLO_metrics.jsonl \
+	  -o REPORT_slo.html --md REPORT_slo.md
+	grep -q 'SLO & error budget' REPORT_slo.md
 
 # Refresh the committed baseline store from this machine (then commit the
 # changed bench/baselines/*.json).

@@ -148,8 +148,9 @@ let percentile_of_buckets_ms buckets q =
   let total = Array.fold_left ( + ) 0 buckets in
   if total = 0 then 0.
   else begin
-    let q = Float.max 0. (Float.min 100. q) in
-    let rank = max 1 (int_of_float (ceil (q *. float_of_int total /. 100.))) in
+    (* The rank is Stats' shared nearest-rank definition; only the
+       in-bucket interpolation below is histogram-specific. *)
+    let rank = Stats.nearest_rank ~count:total ~pct:q in
     let rec go b cum =
       if b > 63 then
         (* All counts consumed below the rank — numerically impossible, but

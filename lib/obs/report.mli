@@ -16,7 +16,7 @@
 type source = { path : string; kind : string }
 (** One input file and the document kind it classified as:
     ["bench" | "profile" | "check" | "fault" | "compare" | "serve" |
-    "metrics"], or ["jsonl"] for a multi-line stream. *)
+    "metrics" | "slo"], or ["jsonl"] for a multi-line stream. *)
 
 type artifacts = {
   bench : Rpb_benchmarks.Bench_json.record list;
@@ -32,6 +32,10 @@ type artifacts = {
       (** [kind="metrics"] live-metrics snapshots (the [stats] verb /
           [--metrics-json] JSONL format), in stream order — the
           dashboard's time-series section *)
+  slos : Rpb_benchmarks.Bench_json.json list;
+      (** [kind="slo"] burn-rate replays ([rpb slo --json]) — the
+          "SLO & error budget" section's verdict tiles, per-objective
+          table and fast-burn chart *)
   sources : source list;
   errors : (string * string) list;
       (** files skipped as unreadable/unparseable: [(path, message)] *)

@@ -62,6 +62,21 @@ let quantile_sorted s q =
     ((1.0 -. frac) *. s.(lo)) +. (frac *. s.(hi))
   end
 
+(* ---------- nearest-rank percentiles ---------- *)
+
+(* The one nearest-rank definition in the tree: Serve.Latency summaries and
+   Metrics bucket percentiles both delegate their rank computation here, so
+   the two ends of a snapshot round-trip can never disagree on which sample
+   a percentile names. *)
+let nearest_rank ~count ~pct =
+  if count < 1 then invalid_arg "Stats.nearest_rank: empty sample set";
+  let pct = Float.max 0. (Float.min 100. pct) in
+  max 1 (min count (int_of_float (ceil (pct *. float_of_int count /. 100.))))
+
+let percentile_sorted s pct =
+  check_nonempty "Stats.percentile_sorted" s;
+  s.(nearest_rank ~count:(Array.length s) ~pct - 1)
+
 let bootstrap_ci ?(replicates = 1000) ?(confidence = 0.95)
     ?(estimator = median) ~seed a =
   check_nonempty "Stats.bootstrap_ci" a;

@@ -33,6 +33,16 @@ val quantile_sorted : float array -> float -> float
 (** [quantile_sorted s q] for sorted [s] and [q ∈ [0,1]], with linear
     interpolation between closest ranks (numpy/R type-7). *)
 
+val nearest_rank : count:int -> pct:float -> int
+(** The 1-based nearest rank [max 1 (ceil (pct/100 * count))], clamped to
+    [\[1, count\]], for [pct ∈ [0,100]] — the single rank definition
+    {!Rpb_serve}'s latency summaries and {!Metrics} bucket percentiles
+    both delegate to.  Distinct from {!quantile_sorted}'s interpolating
+    type-7 estimator, which the bootstrap machinery keeps. *)
+
+val percentile_sorted : float array -> float -> float
+(** [percentile_sorted s pct] — the nearest-rank sample of sorted [s]. *)
+
 val bootstrap_ci :
   ?replicates:int ->
   ?confidence:float ->

@@ -35,11 +35,8 @@ let summarize t =
   else begin
     let sorted = Array.sub t.samples 0 t.len in
     Array.sort compare sorted;
-    (* Nearest rank: ceil(q/100 * n), 1-based. *)
-    let pct q =
-      let rank = int_of_float (ceil (q *. float_of_int t.len /. 100.)) in
-      sorted.(max 0 (min (t.len - 1) (rank - 1)))
-    in
+    (* Nearest rank, delegated to the shared definition in Obs.Stats. *)
+    let pct q = Rpb_obs.Stats.percentile_sorted sorted q in
     let sum = Array.fold_left ( +. ) 0. sorted in
     {
       count = t.len;

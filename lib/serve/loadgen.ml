@@ -68,6 +68,7 @@ type result = {
   protocol_errors : int;
   digest_mismatches : int;
   reconnects : int;
+  max_retry_hint_ms : int;
   latency : Latency.summary;
 }
 
@@ -106,6 +107,9 @@ type client = {
   mutable c_mismatch : int;
   mutable c_reconnects : int;
   mutable c_sent : int;
+  mutable c_max_retry_hint_ms : int;
+      (* largest retry_after_ms any shed carried — rises when the server's
+         SLO engine scales the hint under a burning budget *)
   rng_r : Rng.t;  (* reader-side jitter stream *)
   digests : Mutex.t * (string * string * int, int) Hashtbl.t;  (* shared *)
 }
@@ -146,6 +150,10 @@ let handle_reply cl reply =
       check_digest cl entry.req digest
     | Protocol.Err_reply { kind = Protocol.Overloaded; retry_after_ms; _ } ->
       cl.c_shed <- cl.c_shed + 1;
+      (match retry_after_ms with
+       | Some ms when ms > cl.c_max_retry_hint_ms ->
+         cl.c_max_retry_hint_ms <- ms
+       | _ -> ());
       if entry.attempt > cl.cfg.max_retries then
         cl.c_give_ups <- cl.c_give_ups + 1
       else begin
@@ -408,6 +416,7 @@ let result_to_json cfg r =
             ("protocol_errors", Int r.protocol_errors);
             ("digest_mismatches", Int r.digest_mismatches);
             ("reconnects", Int r.reconnects);
+            ("max_retry_hint_ms", Int r.max_retry_hint_ms);
             ("accounted", Int (accounted r));
           ] );
       ("latency", Latency.summary_to_json r.latency);
@@ -419,10 +428,10 @@ let summary_lines r =
     Printf.sprintf
       "sent=%d ok=%d shed=%d retries=%d give_ups=%d stalled=%d cancelled=%d \
        failed=%d rejected=%d shutdown=%d killed=%d lost=%d proto_err=%d \
-       digest_mismatch=%d reconnects=%d"
+       digest_mismatch=%d reconnects=%d max_retry_hint_ms=%d"
       r.sent r.ok r.shed_replies r.retries r.give_ups r.stalled r.cancelled
       r.failed r.rejected r.shutdown_replies r.killed r.lost r.protocol_errors
-      r.digest_mismatches r.reconnects;
+      r.digest_mismatches r.reconnects r.max_retry_hint_ms;
     Printf.sprintf
       "latency (ok, ms): n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
       l.Latency.count l.Latency.mean_ms l.Latency.p50_ms l.Latency.p95_ms
@@ -462,6 +471,7 @@ let run cfg =
             c_mismatch = 0;
             c_reconnects = 0;
             c_sent = 0;
+            c_max_retry_hint_ms = 0;
             rng_r = Rng.create (Rng.hash64 ((cfg.seed * 131) + id + 7));
             digests;
           })
@@ -506,6 +516,10 @@ let run cfg =
           protocol_errors = sum (fun c -> c.c_proto);
           digest_mismatches = sum (fun c -> c.c_mismatch);
           reconnects = sum (fun c -> c.c_reconnects);
+          max_retry_hint_ms =
+            List.fold_left
+              (fun a cl -> max a cl.c_max_retry_hint_ms)
+              0 clients;
           latency = Latency.summarize lat;
         }
       in

@@ -59,6 +59,10 @@ type result = {
       (** ok replies whose digest disagreed with an earlier ok reply for the
           same (bench, input, mode, scale) — across policies — must be 0 *)
   reconnects : int;
+  max_retry_hint_ms : int;
+      (** largest [retry_after_ms] hint any shed carried — under a burning
+          SLO budget the server scales the hint, so an overload soak sees
+          this rise above the un-tightened baseline *)
   latency : Latency.summary;  (** over [ok] requests *)
 }
 

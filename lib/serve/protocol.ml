@@ -144,6 +144,7 @@ let request ?(verb = "run") ?input ?(mode = "unsafe") ?(scale = 0)
   { id; verb; bench; input; mode; scale; policy; deadline_s; spin_ms }
 
 let stats_request ~id = request ~verb:"stats" ~id ~bench:"-" ()
+let health_request ~id = request ~verb:"health" ~id ~bench:"-" ()
 
 let request_line r =
   let b = Buffer.create 96 in

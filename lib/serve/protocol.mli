@@ -48,8 +48,9 @@ type request = {
   id : int;  (** client-chosen; echoed in the reply *)
   verb : string;
       (** ["run"] (implicit on the wire) executes a job; ["stats"] asks for
-          a live metrics snapshot — the reply frame is the raw
-          [kind="metrics"] JSON document, not a [key=value] line *)
+          a live metrics snapshot and ["health"] for the SLO verdict — for
+          both, the reply frame is a raw JSON document ([kind="metrics"] /
+          [kind="health"]), not a [key=value] line *)
   bench : string;  (** registry benchmark name, or ["spin"]; ["-"] for
                        non-run verbs *)
   input : string option;  (** benchmark input (default: the entry's first) *)
@@ -69,6 +70,13 @@ val request : ?verb:string -> ?input:string -> ?mode:string -> ?scale:int ->
 val stats_request : id:int -> request
 (** A [verb=stats] request: the server replies with one frame whose payload
     is the current live-metrics snapshot as JSON. *)
+
+val health_request : id:int -> request
+(** A [verb=health] request: the server replies with one frame whose
+    payload is the [kind="health"] SLO verdict document
+    ({!Rpb_obs.Slo.health_json}) — overall [ok|degraded|unhealthy] status,
+    per-objective burn rates, and the current admission tightening.  Like
+    [stats] it bypasses admission and is served even while draining. *)
 
 val request_line : request -> string
 val parse_request : string -> (request, string) result

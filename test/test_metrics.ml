@@ -294,6 +294,103 @@ let test_latency_edge_cases () =
   let merged = Latency.merge one eq in
   Alcotest.(check int) "merge count" 101 (Latency.count merged)
 
+(* ---------- top: restart re-baselining and SLO gauge checks ---------- *)
+
+module Top = Rpb_serve.Top
+
+let mk_snap ?(seq = 1) ?(ts = 100.) ?(uptime = 10.) ?(counters = [])
+    ?(gauges = []) () =
+  { Top.seq; ts_s = ts; uptime_s = uptime; counters; gauges; hists = [] }
+
+let test_top_restart_rebaseline () =
+  let p = mk_snap ~seq:10 ~ts:100. ~uptime:50. ~counters:[ ("test.req", 100) ] () in
+  (* A restarted server: uptime and seq start over, counters drop.  The
+     delta consumers must re-baseline, not report a violation (or a
+     negative rate). *)
+  let fresh =
+    mk_snap ~seq:1 ~ts:101. ~uptime:0.5 ~counters:[ ("test.req", 3) ] ()
+  in
+  (match Top.check_invariants ~prev:(Some p) fresh with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("restart flagged as a violation: " ^ e));
+  Alcotest.(check bool) "render survives a restart" true
+    (String.length (Top.render ~prev:p fresh) > 0);
+  (* ...while the same counter drop WITHOUT a restart is the violation the
+     check exists for *)
+  let bad =
+    mk_snap ~seq:11 ~ts:101. ~uptime:51. ~counters:[ ("test.req", 50) ] ()
+  in
+  (match Top.check_invariants ~prev:(Some p) bad with
+  | Ok () -> Alcotest.fail "a mid-run counter drop must be flagged"
+  | Error _ -> ())
+
+let test_top_slo_gauge_invariants () =
+  let ok_snap =
+    mk_snap
+      ~gauges:
+        [ ("slo.availability.fast_burn", 2.5);
+          ("slo.availability.level", 1.); ("slo.level", 2.) ]
+      ()
+  in
+  (match Top.check_invariants ~prev:None ok_snap with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("valid slo gauges rejected: " ^ e));
+  let bad_level = mk_snap ~gauges:[ ("slo.level", 3.) ] () in
+  (match Top.check_invariants ~prev:None bad_level with
+  | Ok () -> Alcotest.fail "level gauge 3 is not a valid encoding"
+  | Error _ -> ());
+  let bad_burn = mk_snap ~gauges:[ ("slo.x.slow_burn", -0.5) ] () in
+  match Top.check_invariants ~prev:None bad_burn with
+  | Ok () -> Alcotest.fail "negative burn gauge must be flagged"
+  | Error _ -> ()
+
+(* ---------- one percentile definition across the codebase ---------- *)
+
+module Stats = Rpb_obs.Stats
+
+(* Latency.summarize, Stats.percentile_sorted and the histogram-bucket
+   interpolation all answer through Stats.nearest_rank now; seeded random
+   sample sets pin them to each other. *)
+let test_percentile_cross_implementation () =
+  let rng = Rpb_prim.Rng.create 17 in
+  for round = 1 to 20 do
+    let n = 1 + ((round * 37) mod 200) in
+    let samples = Array.init n (fun _ -> 0.001 +. Rpb_prim.Rng.float rng 50.) in
+    let lat = Latency.create () in
+    Array.iter (Latency.add lat) samples;
+    let s = Latency.summarize lat in
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    List.iter
+      (fun (q, v) ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "n=%d p%g agrees with percentile_sorted" n q)
+          (Stats.percentile_sorted sorted q)
+          v)
+      [ (50., s.Latency.p50_ms); (95., s.Latency.p95_ms);
+        (99., s.Latency.p99_ms) ];
+    (* the log2-bucket estimate must land inside the bucket holding the
+       exact nearest-rank sample *)
+    let buckets = Array.make 64 0 in
+    Array.iter
+      (fun ms ->
+        let b = Metrics.bucket_of_ns (int_of_float (ms *. 1e6)) in
+        buckets.(b) <- buckets.(b) + 1)
+      samples;
+    List.iter
+      (fun q ->
+        let rank = Stats.nearest_rank ~count:n ~pct:q in
+        let exact_ns = int_of_float (sorted.(rank - 1) *. 1e6) in
+        let lo, hi = Metrics.bucket_bounds_ns (Metrics.bucket_of_ns exact_ns) in
+        let est = Metrics.percentile_of_buckets_ms buckets q in
+        Alcotest.(check bool)
+          (Printf.sprintf "n=%d p%g bucket estimate inside the exact bucket"
+             n q)
+          true
+          (est >= lo *. 1e-6 -. 1e-9 && est <= hi *. 1e-6 +. 1e-9))
+      [ 50.; 95.; 99. ]
+  done
+
 (* ---------- timer wheel shutdown/respawn (the serve-drain pin) ---------- *)
 
 let test_timer_shutdown_respawns () =
@@ -350,7 +447,18 @@ let () =
           Alcotest.test_case "pool probes" `Quick test_register_pool_probes;
         ] );
       ( "latency",
-        [ Alcotest.test_case "edge cases" `Quick test_latency_edge_cases ] );
+        [
+          Alcotest.test_case "edge cases" `Quick test_latency_edge_cases;
+          Alcotest.test_case "one percentile definition" `Quick
+            test_percentile_cross_implementation;
+        ] );
+      ( "top",
+        [
+          Alcotest.test_case "restart re-baseline" `Quick
+            test_top_restart_rebaseline;
+          Alcotest.test_case "slo gauge invariants" `Quick
+            test_top_slo_gauge_invariants;
+        ] );
       ( "timer",
         [
           Alcotest.test_case "shutdown respawns" `Quick

@@ -5,6 +5,7 @@
 open Rpb_serve
 module Pool = Rpb_pool.Pool
 open Rpb_benchmarks
+module J = Bench_json
 
 (* ---------- helpers ---------- *)
 
@@ -442,6 +443,92 @@ let test_serve_stats_verb () =
       | Protocol.Err_reply _ ->
         Alcotest.fail "connection should survive an unknown verb")
 
+(* ---------- the health verb and budget-aware admission ---------- *)
+
+let test_serve_health_verb () =
+  (* Without --slo the health plane answers an objective-less ok with
+     untightened admission. *)
+  with_server (fun t ->
+      match Top.fetch_health ~socket_path:(Serve.socket_path t) () with
+      | Error e -> Alcotest.fail ("health: " ^ e)
+      | Ok j ->
+        Alcotest.(check string) "status" "ok"
+          (J.get_str (J.member "status" j));
+        Alcotest.(check int) "no objectives" 0
+          (List.length (J.get_list (J.member "objectives" j)));
+        let adm = J.member "admission" j in
+        Alcotest.(check int) "full cap" 16
+          (J.get_int (J.member "effective_max_queue" adm));
+        Alcotest.(check int) "unit retry scale" 1
+          (J.get_int (J.member "retry_scale" adm)))
+
+let test_serve_health_degrades () =
+  (* A deliberately impossible latency objective (p95 < 1 us) with
+     sub-second burn windows: every request is budget burn, so the health
+     verb must degrade to unhealthy and report quartered admission while
+     load keeps arriving. *)
+  let slo =
+    match Rpb_obs.Slo.parse_spec "latency:serve.exec_ms:p95<0.001" with
+    | Stdlib.Ok s -> s
+    | Stdlib.Error e -> Alcotest.fail e
+  in
+  let cfg =
+    {
+      (Serve.default_config ~socket_path:(fresh_sock ())) with
+      threads = 2;
+      max_queue = 16;
+      drain_grace_s = 5.0;
+      quiet = true;
+      metrics_interval_s = 0.1;
+      slo = Some slo;
+      slo_fast_s = 0.5;
+      slo_slow_s = 2.0;
+    }
+  in
+  match Serve.start cfg with
+  | Error e -> Alcotest.fail ("server start: " ^ e)
+  | Ok t ->
+    Fun.protect ~finally:(fun () -> Serve.stop t) @@ fun () ->
+    let conn = connect t in
+    Fun.protect ~finally:(fun () -> close_conn conn) @@ fun () ->
+    let deadline = Unix.gettimeofday () +. 20.0 in
+    let rec drive i =
+      (* keep the burn alive while polling: one request, one health probe *)
+      (match rpc conn (Protocol.request ~id:i ~bench:"spin" ~spin_ms:2 ()) with
+      | Protocol.Ok_reply _ | Protocol.Err_reply _ -> ());
+      match Top.fetch_health ~socket_path:(Serve.socket_path t) () with
+      | Error e -> Alcotest.fail ("health: " ^ e)
+      | Ok j ->
+        if J.get_str (J.member "status" j) = "unhealthy" then j
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "server never degraded to unhealthy"
+        else begin
+          Unix.sleepf 0.05;
+          drive (i + 1)
+        end
+    in
+    let j = drive 1 in
+    Alcotest.(check int) "level encoding" 2 (J.get_int (J.member "level" j));
+    let adm = J.member "admission" j in
+    Alcotest.(check int) "admission quartered under Page" 4
+      (J.get_int (J.member "effective_max_queue" adm));
+    Alcotest.(check int) "retry hints scaled 4x" 4
+      (J.get_int (J.member "retry_scale" adm));
+    (match J.get_list (J.member "objectives" j) with
+    | [ o ] ->
+      Alcotest.(check string) "objective paged" "page"
+        (J.get_str (J.member "level" o));
+      Alcotest.(check bool) "burns reported positive" true
+        (J.get_float (J.member "fast_burn" o) > 0.)
+    | os -> Alcotest.failf "expected one objective, got %d" (List.length os));
+    (* the slo.* gauges pass the rpb top --check invariants live *)
+    (match Top.fetch ~socket_path:(Serve.socket_path t) () with
+    | Error e -> Alcotest.fail ("stats: " ^ e)
+    | Ok s -> (
+      match Top.check_invariants ~prev:None s with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail ("slo gauge invariant: " ^ msg)))
+
 (* ---------- the seeded overload/fault soak ---------- *)
 
 let test_serve_fault_soak () =
@@ -567,6 +654,10 @@ let () =
             test_serve_drain_replies_to_queued;
           Alcotest.test_case "stats verb reconciles" `Quick
             test_serve_stats_verb;
+          Alcotest.test_case "health verb without slo" `Quick
+            test_serve_health_verb;
+          Alcotest.test_case "health degrades and tightens admission" `Quick
+            test_serve_health_degrades;
         ] );
       ( "soak",
         [

@@ -1,0 +1,431 @@
+(* The SLO engine: spec parsing, burn-rate arithmetic against hand-computed
+   answers, the two-window escalation rule, hysteresis stepping, restart
+   re-baselining, the global level register's allocation contract, the
+   admission-tightening maps, and the health/replay JSON surfaces. *)
+
+module J = Rpb_benchmarks.Bench_json
+module Slo = Rpb_obs.Slo
+
+let check_float name expected actual =
+  Alcotest.(check (float 1e-9)) name expected actual
+
+(* Short windows so tests hand-place samples inside/outside them; hysteresis
+   2 so de-escalation is observable in few feeds. *)
+let test_params =
+  { Slo.fast_s = 10.; slow_s = 100.; page_burn = 14.4; warn_burn = 6.;
+    hysteresis = 2 }
+
+let avail_spec target =
+  match Slo.parse_spec (Printf.sprintf "avail:%g" target) with
+  | Stdlib.Ok s -> s
+  | Stdlib.Error e -> Alcotest.fail ("avail spec: " ^ e)
+
+(* ---------- spec parsing ---------- *)
+
+let test_parse_roundtrip () =
+  let ok s =
+    match Slo.parse_spec s with
+    | Stdlib.Ok spec -> spec
+    | Stdlib.Error e -> Alcotest.failf "parse %s: %s" s e
+  in
+  let spec = ok "latency:serve.exec_ms:p95<5;avail:0.99" in
+  Alcotest.(check (list string)) "names"
+    [ "serve.exec_ms.p95"; "availability" ]
+    (List.map fst spec);
+  Alcotest.(check string) "canonical round-trip"
+    "latency:serve.exec_ms:p95<5;avail:0.99"
+    (Slo.spec_to_string spec);
+  (* the long avail form names its own counters *)
+  let custom = ok "avail:db:db.ok:db.err+db.timeout:0.999" in
+  (match custom with
+  | [ (name, Slo.Availability { good; bad; target }) ] ->
+    Alcotest.(check string) "custom name" "db" name;
+    Alcotest.(check (list string)) "good set" [ "db.ok" ] good;
+    Alcotest.(check (list string)) "bad set" [ "db.err"; "db.timeout" ] bad;
+    check_float "target" 0.999 target
+  | _ -> Alcotest.fail "custom avail did not parse to one objective");
+  Alcotest.(check string) "custom form round-trips"
+    "avail:db:db.ok:db.err+db.timeout:0.999"
+    (Slo.spec_to_string custom);
+  (* whitespace and empty items are tolerated *)
+  Alcotest.(check int) "blank items skipped" 2
+    (List.length (ok " avail:0.9 ;; latency:h:p50<1 "))
+
+let test_parse_errors () =
+  let bad s =
+    match Slo.parse_spec s with
+    | Stdlib.Ok _ -> Alcotest.failf "%s should not parse" s
+    | Stdlib.Error _ -> ()
+  in
+  List.iter bad
+    [
+      "";  (* empty spec *)
+      ";;";
+      "garbage";
+      "latency:h:95<5";  (* no p prefix *)
+      "latency:h:p0<5";  (* pctl out of (0,100) *)
+      "latency:h:p100<5";
+      "latency:h:p95<0";  (* non-positive target *)
+      "latency::p95<5";  (* empty histogram *)
+      "avail:0";  (* target out of (0,1) *)
+      "avail:1";
+      "avail:1.5";
+      "avail:db::bad:0.9";  (* empty good set *)
+      "avail:0.9;avail:0.99";  (* duplicate objective name *)
+    ]
+
+let test_budgets () =
+  check_float "p95 budget" 0.05
+    (Slo.objective_budget
+       (Slo.Latency { hist = "h"; pctl = 95.; target_ms = 5. }));
+  check_float "avail 0.99 budget" 0.01
+    (Slo.objective_budget
+       (Slo.Availability { good = []; bad = []; target = 0.99 }))
+
+let test_levels () =
+  List.iter
+    (fun (l, i, n, s) ->
+      Alcotest.(check int) "index" i (Slo.level_index l);
+      Alcotest.(check bool) "of_index round-trips" true
+        (Slo.level_of_index i = l);
+      Alcotest.(check string) "name" n (Slo.level_name l);
+      Alcotest.(check string) "status" s (Slo.status_name l))
+    [ (Slo.Ok, 0, "ok", "ok"); (Slo.Warn, 1, "warn", "degraded");
+      (Slo.Page, 2, "page", "unhealthy") ];
+  Alcotest.(check bool) "out-of-range indices clamp" true
+    (Slo.level_of_index (-3) = Slo.Ok && Slo.level_of_index 9 = Slo.Page)
+
+let test_create_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> Slo.create []);
+  raises (fun () ->
+      Slo.create ~params:{ test_params with fast_s = 20.; slow_s = 10. }
+        (avail_spec 0.99));
+  raises (fun () ->
+      Slo.create ~params:{ test_params with hysteresis = 0 } (avail_spec 0.99));
+  (* feed arity is checked *)
+  let t = Slo.create ~params:test_params (avail_spec 0.99) in
+  raises (fun () -> Slo.feed t ~now_s:0. ~started_s:0. [||])
+
+(* ---------- burn arithmetic and escalation ---------- *)
+
+let feed1 t ~now total bad =
+  match Slo.feed t ~now_s:now ~started_s:0. [| (total, bad) |] with
+  | [ v ] -> v
+  | vs -> Alcotest.failf "expected one verdict, got %d" (List.length vs)
+
+let test_burn_hand_computed () =
+  (* budget 0.01; both windows share the t=0 baseline early on, so the
+     burns are delta-bad / delta-total / 0.01. *)
+  let t = Slo.create ~params:test_params (avail_spec 0.99) in
+  let v0 = feed1 t ~now:0. 100. 0. in
+  check_float "no history, no burn" 0. v0.Slo.v_fast_burn;
+  Alcotest.(check bool) "starts Ok" true (v0.Slo.v_level = Slo.Ok);
+  (* +100 requests, 10 bad: error rate 0.1, burn 10 — warns, not pages *)
+  let v1 = feed1 t ~now:1. 200. 10. in
+  check_float "fast burn 10x" 10. v1.Slo.v_fast_burn;
+  check_float "slow burn 10x" 10. v1.Slo.v_slow_burn;
+  Alcotest.(check bool) "10x is Warn" true (v1.Slo.v_level = Slo.Warn);
+  (* cumulative 30 bad / 200 total since baseline: er 0.15, burn 15 *)
+  let v2 = feed1 t ~now:2. 300. 30. in
+  check_float "burn 15x" 15. v2.Slo.v_fast_burn;
+  Alcotest.(check bool) "15x pages" true (v2.Slo.v_level = Slo.Page);
+  (* budget: cumulative er 0.15 over a 0.01 budget = 15 budgets spent *)
+  check_float "budget overspent" (-14.) v2.Slo.v_budget_remaining
+
+let test_two_window_rule () =
+  (* A burst of errors older than the fast window must NOT (re-)escalate:
+     the fast window is clean, and min(fast, slow) decides.  The burst
+     pages when it happens; hysteresis then walks the level back to Ok
+     while the slow window is STILL over the page threshold — and the
+     stale slow burn alone cannot push it back up. *)
+  let t = Slo.create ~params:test_params (avail_spec 0.99) in
+  ignore (feed1 t ~now:0. 0. 0.);
+  Alcotest.(check bool) "the burst pages on both windows" true
+    ((feed1 t ~now:1. 100. 50.).Slo.v_level = Slo.Page);
+  (* calm, fast-window-clean evaluations: 2 to step Page->Warn, 2 more to
+     reach Ok (hysteresis 2) *)
+  ignore (feed1 t ~now:85. 200. 50.);
+  ignore (feed1 t ~now:90. 250. 50.);
+  ignore (feed1 t ~now:92. 270. 50.);
+  ignore (feed1 t ~now:94. 280. 50.);
+  let v = feed1 t ~now:96. 300. 50. in
+  (* fast edge 86 -> base t=85: no new bad -> 0.  slow edge -4 -> oldest
+     t=0: 50/300 / 0.01 = 16.7x, still over the 14.4x page threshold. *)
+  check_float "fast window clean" 0. v.Slo.v_fast_burn;
+  check_float "slow window still burning" (50. /. 300. /. 0.01)
+    v.Slo.v_slow_burn;
+  Alcotest.(check bool) "slow burn alone exceeds the page threshold" true
+    (v.Slo.v_slow_burn >= test_params.Slo.page_burn);
+  Alcotest.(check bool) "stale burn alone never escalates" true
+    (v.Slo.v_level = Slo.Ok)
+
+let test_hysteresis_stepping () =
+  let t = Slo.create ~params:test_params (avail_spec 0.99) in
+  ignore (feed1 t ~now:0. 100. 0.);
+  ignore (feed1 t ~now:1. 200. 10.);  (* Warn *)
+  let v = feed1 t ~now:2. 300. 30. in
+  Alcotest.(check bool) "paged" true (v.Slo.v_level = Slo.Page);
+  (* Calm evaluations: burns stay high in the truncated window until the
+     bad samples age out, so jump past the slow window to get clean ones. *)
+  let calm i = feed1 t ~now:(200. +. float_of_int i) 400. 30. in
+  let c1 = calm 0 in
+  check_float "calm fast burn" 0. c1.Slo.v_fast_burn;
+  Alcotest.(check bool) "one calm eval holds Page (hysteresis 2)" true
+    (c1.Slo.v_level = Slo.Page);
+  Alcotest.(check bool) "second calm eval steps down one level only" true
+    ((calm 1).Slo.v_level = Slo.Warn);
+  Alcotest.(check bool) "third holds Warn" true ((calm 2).Slo.v_level = Slo.Warn);
+  Alcotest.(check bool) "fourth reaches Ok" true ((calm 3).Slo.v_level = Slo.Ok);
+  (* re-escalation is immediate, no hysteresis on the way up *)
+  Alcotest.(check bool) "fresh burn re-escalates at once" true
+    ((feed1 t ~now:205. 500. 130.).Slo.v_level = Slo.Page)
+
+let test_restart_rebaseline () =
+  let t = Slo.create ~params:test_params (avail_spec 0.99) in
+  ignore (Slo.feed t ~now_s:0. ~started_s:1000. [| (100., 0.) |]);
+  ignore (Slo.feed t ~now_s:1. ~started_s:1000. [| (200., 0.) |]);
+  (* restart: started_s changes and the counters drop.  The offsets fold
+     the pre-restart totals in, so no delta ever goes negative. *)
+  let v =
+    match Slo.feed t ~now_s:2. ~started_s:2000. [| (10., 5.) |] with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "arity"
+  in
+  Alcotest.(check bool) "burns never negative across a restart" true
+    (v.Slo.v_fast_burn >= 0. && v.Slo.v_slow_burn >= 0.);
+  (* 5 bad over 10 post-restart requests: er 0.5, burn 50 on both windows
+     (baseline t=0 adjusted total 100 -> delta 110 total 5 bad? no: the
+     adjusted cumulative is 210 total 5 bad, t=0 sample was 100/0, so
+     er = 5/110). *)
+  check_float "adjusted delta arithmetic" (5. /. 110. /. 0.01)
+    v.Slo.v_fast_burn;
+  (* a cumulative value going backwards WITHOUT started_s changing is the
+     same restart, detected from the counters alone *)
+  let t2 = Slo.create ~params:test_params (avail_spec 0.99) in
+  ignore (Slo.feed t2 ~now_s:0. ~started_s:0. [| (100., 10.) |]);
+  let v2 =
+    match Slo.feed t2 ~now_s:1. ~started_s:0. [| (5., 0.) |] with
+    | [ v ] -> v
+    | _ -> Alcotest.fail "arity"
+  in
+  Alcotest.(check bool) "counter-drop restart re-baselines too" true
+    (v2.Slo.v_fast_burn >= 0. && v2.Slo.v_budget_remaining <= 1.)
+
+let test_overall () =
+  Alcotest.(check bool) "empty is Ok" true (Slo.overall [] = Slo.Ok);
+  let v name level =
+    { Slo.v_name = name; v_level = level; v_fast_burn = 0.; v_slow_burn = 0.;
+      v_budget_remaining = 1. }
+  in
+  Alcotest.(check bool) "worst level wins" true
+    (Slo.overall [ v "a" Slo.Ok; v "b" Slo.Page; v "c" Slo.Warn ] = Slo.Page)
+
+(* ---------- the global register and admission maps ---------- *)
+
+let test_register_and_admission () =
+  Slo.reset_current ();
+  Alcotest.(check bool) "defaults to Ok" true (Slo.current_level () = Slo.Ok);
+  Slo.set_current Slo.Warn;
+  Alcotest.(check bool) "publishes" true (Slo.current_level () = Slo.Warn);
+  Slo.reset_current ();
+  Alcotest.(check bool) "reset returns to Ok" true
+    (Slo.current_level () = Slo.Ok);
+  List.iter
+    (fun (l, scale, cap16) ->
+      Alcotest.(check int) "retry scale" scale (Slo.admission_scale l);
+      Alcotest.(check int) "cap 16" cap16 (Slo.effective_queue_cap l 16))
+    [ (Slo.Ok, 1, 16); (Slo.Warn, 2, 8); (Slo.Page, 4, 4) ];
+  Alcotest.(check int) "cap never drops below 1" 1
+    (Slo.effective_queue_cap Slo.Page 2);
+  Alcotest.(check int) "cap 1 survives Page" 1
+    (Slo.effective_queue_cap Slo.Page 1)
+
+(* The ISSUE's acceptance pin: with no engine running, the admission path's
+   SLO consultation is one atomic load — no allocation.  Same contract (and
+   same measurement technique) as the Metrics switch. *)
+let test_register_allocation_free () =
+  Slo.reset_current ();
+  ignore (Sys.opaque_identity (Slo.current_level ()));
+  let before = Gc.allocated_bytes () in
+  for _ = 1 to 1000 do
+    ignore (Sys.opaque_identity (Slo.current_level ()))
+  done;
+  let per_read = (Gc.allocated_bytes () -. before) /. 1000.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "current_level allocation-free (%.1f B)" per_read)
+    true (per_read < 16.0)
+
+(* ---------- snapshot extraction ---------- *)
+
+let metrics_doc ~ts ?(started = 0.) ?(ok = 0) ?(failed = 0) ?(buckets = [])
+    () =
+  J.Obj
+    [
+      ("kind", J.Str "metrics");
+      ("ts_s", J.Float ts);
+      ("started_s", J.Float started);
+      ( "counters",
+        J.Obj [ ("serve.ok", J.Int ok); ("serve.failed", J.Int failed) ] );
+      ( "histograms",
+        J.Obj
+          [
+            ( "serve.exec_ms",
+              J.Obj
+                [
+                  ( "count",
+                    J.Int (List.fold_left (fun a (_, n) -> a + n) 0 buckets) );
+                  ( "buckets",
+                    J.List
+                      (List.map
+                         (fun (b, n) -> J.List [ J.Int b; J.Int n ])
+                         buckets) );
+                ] );
+          ] );
+    ]
+
+let test_feed_snapshot () =
+  let spec =
+    match Slo.parse_spec "latency:serve.exec_ms:p95<5;avail:0.99" with
+    | Stdlib.Ok s -> s
+    | Stdlib.Error e -> Alcotest.fail e
+  in
+  let t = Slo.create ~params:test_params spec in
+  Alcotest.(check bool) "non-metrics docs are ignored" true
+    (Slo.feed_snapshot t (J.Obj [ ("kind", J.Str "serve") ]) = None);
+  (* Bucket 22 is [2^22, 2^23) ns ~ [4.19, 8.39) ms: it straddles the 5 ms
+     target, so its lower bound is below the target and the whole bucket is
+     credited as good.  Bucket 23 starts at 8.39 ms >= 5 ms: bad. *)
+  ignore (Slo.feed_snapshot t (metrics_doc ~ts:0. ()));
+  let vs =
+    match
+      Slo.feed_snapshot t
+        (metrics_doc ~ts:1. ~ok:100 ~failed:0
+           ~buckets:[ (10, 50); (22, 30); (23, 20) ]
+           ())
+    with
+    | Some vs -> vs
+    | None -> Alcotest.fail "metrics doc rejected"
+  in
+  (match vs with
+  | [ lat; avail ] ->
+    (* 20 of 100 samples at/above the target against a 0.05 budget *)
+    check_float "straddling bucket credited as good" (0.2 /. 0.05)
+      lat.Slo.v_fast_burn;
+    Alcotest.(check string) "latency verdict name" "serve.exec_ms.p95"
+      lat.Slo.v_name;
+    check_float "clean availability" 0. avail.Slo.v_fast_burn
+  | _ -> Alcotest.fail "expected two verdicts");
+  Alcotest.(check int) "verdicts are retained" 2 (List.length (Slo.verdicts t))
+
+(* ---------- health and replay JSON ---------- *)
+
+let test_health_json () =
+  let v =
+    { Slo.v_name = "availability"; v_level = Slo.Page; v_fast_burn = 20.;
+      v_slow_burn = 16.; v_budget_remaining = -0.5 }
+  in
+  let j = Slo.health_json ~verdicts:[ v ] ~max_queue:16 in
+  Alcotest.(check string) "kind" "health" (J.get_str (J.member "kind" j));
+  Alcotest.(check string) "status vocabulary" "unhealthy"
+    (J.get_str (J.member "status" j));
+  Alcotest.(check int) "level encoding" 2 (J.get_int (J.member "level" j));
+  let adm = J.member "admission" j in
+  Alcotest.(check int) "full cap" 16 (J.get_int (J.member "max_queue" adm));
+  Alcotest.(check int) "quarter cap under Page" 4
+    (J.get_int (J.member "effective_max_queue" adm));
+  Alcotest.(check int) "4x retry scale" 4
+    (J.get_int (J.member "retry_scale" adm));
+  (match J.get_list (J.member "objectives" j) with
+  | [ o ] ->
+    Alcotest.(check string) "objective level" "page"
+      (J.get_str (J.member "level" o))
+  | _ -> Alcotest.fail "one objective expected");
+  (* the document survives a print/parse cycle *)
+  Alcotest.(check string) "round-trips" "health"
+    (J.get_str (J.member "kind" (J.of_string (J.to_string j))))
+
+let test_replay_and_violation () =
+  let spec = avail_spec 0.99 in
+  let docs =
+    [
+      metrics_doc ~ts:0. ();
+      J.Obj [ ("kind", J.Str "profile") ];  (* interleaved slow-request doc *)
+      metrics_doc ~ts:1. ~ok:90 ~failed:10 ();
+      metrics_doc ~ts:2. ~ok:160 ~failed:40 ();
+    ]
+  in
+  let r = Slo.replay ~params:test_params spec docs in
+  Alcotest.(check int) "snapshots fed" 3 r.Slo.r_fed;
+  Alcotest.(check int) "non-metrics skipped" 1 r.Slo.r_skipped;
+  Alcotest.(check bool) "the run paged" true (r.Slo.r_worst = Slo.Page);
+  Alcotest.(check bool) "paging violates" true (Slo.violated r);
+  Alcotest.(check int) "series covers every fed snapshot" 3
+    (List.length r.Slo.r_series);
+  let j = Slo.replay_to_json r ~params:test_params ~spec in
+  Alcotest.(check string) "kind" "slo" (J.get_str (J.member "kind" j));
+  Alcotest.(check bool) "violation flag" true
+    (J.get_bool (J.member "violation" j));
+  Alcotest.(check string) "worst" "page" (J.get_str (J.member "worst" j));
+  Alcotest.(check string) "spec round-trips" "avail:0.99"
+    (J.get_str (J.member "spec" j));
+  Alcotest.(check int) "series serialized" 3
+    (List.length (J.get_list (J.member "series" j)));
+  (match J.get_list (J.member "objectives" j) with
+  | [ o ] ->
+    check_float "budget member" 0.01 (J.get_float (J.member "budget" o));
+    Alcotest.(check string) "final verdict attached" "availability"
+      (J.get_str (J.member "name" (J.member "final" o)))
+  | _ -> Alcotest.fail "one objective expected");
+  (* a clean stream neither pages nor violates *)
+  let clean =
+    Slo.replay ~params:test_params spec
+      [ metrics_doc ~ts:0. (); metrics_doc ~ts:1. ~ok:100 () ]
+  in
+  Alcotest.(check bool) "clean run is ok" true (clean.Slo.r_worst = Slo.Ok);
+  Alcotest.(check bool) "no violation" false (Slo.violated clean);
+  (* an empty stream fed nothing *)
+  Alcotest.(check int) "empty stream" 0
+    (Slo.replay ~params:test_params spec []).Slo.r_fed
+
+let () =
+  Alcotest.run "slo"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "budgets" `Quick test_budgets;
+          Alcotest.test_case "levels" `Quick test_levels;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+      ( "burn",
+        [
+          Alcotest.test_case "hand-computed burns" `Quick
+            test_burn_hand_computed;
+          Alcotest.test_case "two-window rule" `Quick test_two_window_rule;
+          Alcotest.test_case "hysteresis stepping" `Quick
+            test_hysteresis_stepping;
+          Alcotest.test_case "restart re-baseline" `Quick
+            test_restart_rebaseline;
+          Alcotest.test_case "overall" `Quick test_overall;
+        ] );
+      ( "register",
+        [
+          Alcotest.test_case "register and admission maps" `Quick
+            test_register_and_admission;
+          Alcotest.test_case "allocation-free read" `Quick
+            test_register_allocation_free;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "snapshot extraction" `Quick test_feed_snapshot;
+          Alcotest.test_case "health document" `Quick test_health_json;
+          Alcotest.test_case "replay and violation" `Quick
+            test_replay_and_violation;
+        ] );
+    ]

@@ -38,6 +38,33 @@ let test_mad_known () =
   check_float "constant data has zero spread" 0.0
     (Stats.mad [| 4.0; 4.0; 4.0 |])
 
+let test_nearest_rank_known () =
+  (* ceil(pct * count / 100), clamped to [1, count] — the one definition
+     Latency, Metrics buckets and percentile_sorted now share. *)
+  List.iter
+    (fun (count, pct, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "rank(count=%d, p%g)" count pct)
+        expected
+        (Stats.nearest_rank ~count ~pct))
+    [
+      (1, 0., 1); (1, 50., 1); (1, 100., 1);
+      (100, 50., 50); (100, 95., 95); (100, 99., 99); (100, 100., 100);
+      (100, 0.5, 1); (100, 99.01, 100);
+      (4, 25., 1); (4, 26., 2); (4, 50., 2); (4, 75., 3); (4, 76., 4);
+      (* out-of-range percentiles clamp instead of indexing out of bounds *)
+      (100, -5., 1); (100, 250., 100);
+    ];
+  (match Stats.nearest_rank ~count:0 ~pct:50. with
+  | exception Invalid_argument _ -> ()
+  | r -> Alcotest.failf "count=0 should raise, got %d" r);
+  let s = [| 10.0; 20.0; 30.0; 40.0 |] in
+  check_float "percentile_sorted p50" 20.0 (Stats.percentile_sorted s 50.);
+  check_float "percentile_sorted p51" 30.0 (Stats.percentile_sorted s 51.);
+  check_float "percentile_sorted p0 = min" 10.0 (Stats.percentile_sorted s 0.);
+  check_float "percentile_sorted p100 = max" 40.0
+    (Stats.percentile_sorted s 100.)
+
 let test_quantile_known () =
   let s = [| 10.0; 20.0; 30.0; 40.0 |] in
   check_float "q0 = min" 10.0 (Stats.quantile_sorted s 0.0);
@@ -473,6 +500,119 @@ let test_report_classify_and_errors () =
     (List.length a.Report.errors);
   Alcotest.(check int) "and produce no source" 0 (List.length a.Report.sources)
 
+(* ---------- Report: the JSONL fallback parser ---------- *)
+
+let with_temp_file content f =
+  let path = Filename.temp_file "rpb_report_jsonl" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc content;
+      close_out oc;
+      f path)
+
+let metrics_line seq =
+  Printf.sprintf
+    "{\"kind\":\"metrics\",\"seq\":%d,\"ts_s\":%d.0,\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+    seq seq
+
+let test_report_jsonl_fallback () =
+  (* A server killed mid-write leaves a truncated final line: every whole
+     line must still load, the torn one is skipped, and the file counts as
+     a jsonl source rather than an error. *)
+  with_temp_file
+    (metrics_line 1 ^ "\n" ^ metrics_line 2 ^ "\n"
+   ^ "{\"kind\":\"metrics\",\"seq\":3,\"ts_")
+    (fun path ->
+      let a = Report.load_files [ path ] in
+      Alcotest.(check int) "whole lines load" 2 (List.length a.Report.metrics);
+      Alcotest.(check int) "no error for the torn tail" 0
+        (List.length a.Report.errors);
+      (match a.Report.sources with
+      | [ s ] -> Alcotest.(check string) "jsonl source" "jsonl" s.Report.kind
+      | _ -> Alcotest.fail "one source expected"));
+  (* --metrics-json streams interleave slow-request profiles and slo docs
+     with the snapshots; each line classifies on its own. *)
+  with_temp_file
+    (metrics_line 1 ^ "\n"
+   ^ "{\"kind\":\"slo\",\"spec\":\"avail:0.99\"}\n" ^ "not json at all\n"
+   ^ metrics_line 2 ^ "\n")
+    (fun path ->
+      let a = Report.load_files [ path ] in
+      Alcotest.(check int) "snapshots classified" 2
+        (List.length a.Report.metrics);
+      Alcotest.(check int) "slo line classified" 1 (List.length a.Report.slos);
+      Alcotest.(check int) "junk line skipped without error" 0
+        (List.length a.Report.errors));
+  (* an empty file parses as nothing: an error entry, never a crash *)
+  with_temp_file "" (fun path ->
+      let a = Report.load_files [ path ] in
+      Alcotest.(check int) "no documents" 0 (List.length a.Report.metrics);
+      Alcotest.(check int) "empty file lands in errors" 1
+        (List.length a.Report.errors);
+      Alcotest.(check int) "and produces no source" 0
+        (List.length a.Report.sources))
+
+let test_report_slo_docs () =
+  let doc =
+    J.Obj
+      [
+        ("kind", J.Str "slo");
+        ("spec", J.Str "avail:0.99");
+        ("snapshots", J.Int 3);
+        ("skipped", J.Int 1);
+        ("worst", J.Str "page");
+        ("violation", J.Bool true);
+        ( "objectives",
+          J.List
+            [
+              J.Obj
+                [
+                  ("name", J.Str "availability");
+                  ("budget", J.Float 0.01);
+                  ( "final",
+                    J.Obj
+                      [
+                        ("name", J.Str "availability");
+                        ("level", J.Str "page");
+                        ("fast_burn", J.Float 20.0);
+                        ("slow_burn", J.Float 16.0);
+                        ("budget_remaining", J.Float (-0.5));
+                      ] );
+                ];
+            ] );
+        ( "series",
+          J.List
+            [
+              J.Obj
+                [
+                  ("ts_s", J.Float 1.0);
+                  ("levels", J.List [ J.Int 2 ]);
+                  ("fast", J.List [ J.Float 20.0 ]);
+                  ("slow", J.List [ J.Float 16.0 ]);
+                ];
+            ] );
+      ]
+  in
+  Alcotest.(check string) "slo documents classify as slo" "slo"
+    (Report.classify_doc doc);
+  let a = { Report.empty with Report.slos = [ doc ] } in
+  let html = Report.to_html a in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("html contains " ^ needle) true
+        (contains html needle))
+    [ "SLO &amp; error budget"; "availability"; "violated"; "avail:0.99" ];
+  let md = Report.to_markdown a in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("markdown contains " ^ needle) true
+        (contains md needle))
+    [ "SLO & error budget"; "availability"; "page" ];
+  Alcotest.(check bool) "no section without slo docs" false
+    (contains (Report.to_html Report.empty) "SLO &amp; error budget")
+
 let test_report_serve_docs () =
   Alcotest.(check string) "serve documents classify as serve" "serve"
     (Report.classify_doc (J.Obj [ ("kind", J.Str "serve") ]));
@@ -524,6 +664,7 @@ let () =
           Alcotest.test_case "median/mean/min/max" `Quick test_median_known;
           Alcotest.test_case "mad and mad-sigma" `Quick test_mad_known;
           Alcotest.test_case "type-7 quantiles" `Quick test_quantile_known;
+          Alcotest.test_case "nearest rank" `Quick test_nearest_rank_known;
           Alcotest.test_case "normal survival function" `Quick test_normal_sf;
         ] );
       ( "resampling",
@@ -576,5 +717,8 @@ let () =
             test_report_classify_and_errors;
           Alcotest.test_case "serve latency section" `Quick
             test_report_serve_docs;
+          Alcotest.test_case "jsonl fallback parsing" `Quick
+            test_report_jsonl_fallback;
+          Alcotest.test_case "slo section" `Quick test_report_slo_docs;
         ] );
     ]
